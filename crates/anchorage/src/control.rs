@@ -1,0 +1,328 @@
+//! Anchorage's defragmentation control algorithm (paper §4.3, "Control
+//! system").
+//!
+//! The algorithm balances two goals set by the operator:
+//!
+//! * keep the fragmentation ratio inside `[F_lb, F_ub]`,
+//! * keep the fraction of time spent defragmenting inside `[O_lb, O_ub]`,
+//!
+//! with hysteresis between the lower and upper bounds, and an *aggression
+//! parameter* `α` bounding the fraction of the heap that may be moved per
+//! pause.  It is a two-state machine:
+//!
+//! * **Waiting** — wake every `poll_interval` (500 ms in the paper), sample the
+//!   fragmentation ratio, and switch to defragmenting when it exceeds `F_ub`.
+//! * **Defragmenting** — run partial passes, each bounded by `α`; after a pass
+//!   that took `T_defrag`, sleep `T = T_defrag / O_ub` so the duty cycle never
+//!   exceeds the overhead bound; return to waiting when fragmentation falls
+//!   below `F_lb` or no further progress is possible.
+//!
+//! The controller is driven by *simulated* milliseconds supplied by the
+//! caller, which keeps the figure harnesses deterministic; pass duration is
+//! modelled as `bytes_moved / move_rate`.
+
+use alaska_runtime::service::DefragOutcome;
+use alaska_runtime::Runtime;
+
+/// Operator-tunable parameters of the control algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlParams {
+    /// Lower fragmentation bound `F_lb`: defragmentation stops below this.
+    pub frag_low: f64,
+    /// Upper fragmentation bound `F_ub`: defragmentation starts above this.
+    pub frag_high: f64,
+    /// Lower overhead bound `O_lb` (fraction of time, kept for completeness /
+    /// reporting; the sleep computation uses `O_ub`).
+    pub overhead_low: f64,
+    /// Upper overhead bound `O_ub`: fraction of wall-clock time that may be
+    /// spent inside defragmentation pauses.
+    pub overhead_high: f64,
+    /// Aggression `α`: fraction of the live heap that may be copied per pass.
+    pub alpha: f64,
+    /// Polling interval while waiting, in milliseconds (500 ms in the paper).
+    pub poll_interval_ms: u64,
+    /// Modelled copy throughput used to convert bytes moved into pause time,
+    /// in bytes per millisecond (default 1 MiB/ms ≈ 1 GiB/s).
+    pub move_rate_bytes_per_ms: u64,
+}
+
+impl Default for ControlParams {
+    fn default() -> Self {
+        ControlParams {
+            frag_low: 1.2,
+            frag_high: 1.5,
+            overhead_low: 0.01,
+            overhead_high: 0.05,
+            alpha: 0.25,
+            poll_interval_ms: 500,
+            move_rate_bytes_per_ms: 1024 * 1024,
+        }
+    }
+}
+
+impl ControlParams {
+    /// Validate bounds: `F_lb < F_ub`, `0 < O_ub <= 1`, `0 < α <= 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are inconsistent — a configuration error the
+    /// operator should hear about immediately.
+    pub fn validated(self) -> Self {
+        assert!(self.frag_low >= 1.0 && self.frag_low < self.frag_high, "need 1 <= F_lb < F_ub");
+        assert!(
+            self.overhead_high > 0.0 && self.overhead_high <= 1.0,
+            "need 0 < O_ub <= 1"
+        );
+        assert!(self.alpha > 0.0 && self.alpha <= 1.0, "need 0 < alpha <= 1");
+        assert!(self.move_rate_bytes_per_ms > 0, "move rate must be positive");
+        self
+    }
+}
+
+/// Which state the controller is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlState {
+    /// Observing the heap at the polling interval.
+    Waiting,
+    /// Actively issuing partial defragmentation passes.
+    Defragmenting,
+}
+
+/// Report of a single control-initiated pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PassReport {
+    /// Simulated time at which the pass ran.
+    pub at_ms: u64,
+    /// Outcome returned by the service.
+    pub outcome: DefragOutcome,
+    /// Modelled pause duration in milliseconds.
+    pub pause_ms: f64,
+    /// Fragmentation ratio after the pass.
+    pub fragmentation_after: f64,
+}
+
+/// The control algorithm state machine.
+#[derive(Debug)]
+pub struct ControlAlgorithm {
+    params: ControlParams,
+    state: ControlState,
+    next_event_ms: u64,
+    /// Total simulated milliseconds spent paused.
+    total_pause_ms: f64,
+    /// Number of passes issued.
+    passes: u64,
+}
+
+impl ControlAlgorithm {
+    /// Create a controller with the given parameters.
+    pub fn new(params: ControlParams) -> Self {
+        let params = params.validated();
+        ControlAlgorithm {
+            params,
+            state: ControlState::Waiting,
+            next_event_ms: 0,
+            total_pause_ms: 0.0,
+            passes: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ControlState {
+        self.state
+    }
+
+    /// The parameters the controller was configured with.
+    pub fn params(&self) -> &ControlParams {
+        &self.params
+    }
+
+    /// Total modelled pause time so far, in milliseconds.
+    pub fn total_pause_ms(&self) -> f64 {
+        self.total_pause_ms
+    }
+
+    /// Number of defragmentation passes issued so far.
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+
+    /// Fraction of elapsed time spent paused (the measured overhead).
+    pub fn measured_overhead(&self, elapsed_ms: u64) -> f64 {
+        if elapsed_ms == 0 {
+            0.0
+        } else {
+            self.total_pause_ms / elapsed_ms as f64
+        }
+    }
+
+    /// Whether the controller wants to run a pass at simulated time `now_ms`
+    /// given the current fragmentation ratio.
+    pub fn should_run(&mut self, now_ms: u64, fragmentation: f64) -> bool {
+        match self.state {
+            ControlState::Waiting => {
+                if now_ms < self.next_event_ms {
+                    return false;
+                }
+                self.next_event_ms = now_ms + self.params.poll_interval_ms;
+                if fragmentation > self.params.frag_high {
+                    self.state = ControlState::Defragmenting;
+                    true
+                } else {
+                    false
+                }
+            }
+            ControlState::Defragmenting => now_ms >= self.next_event_ms,
+        }
+    }
+
+    /// Record the completion of a pass and schedule the next event.
+    pub fn on_pass_complete(
+        &mut self,
+        now_ms: u64,
+        outcome: &DefragOutcome,
+        fragmentation_after: f64,
+    ) -> f64 {
+        let pause_ms =
+            outcome.bytes_moved as f64 / self.params.move_rate_bytes_per_ms as f64;
+        self.total_pause_ms += pause_ms;
+        self.passes += 1;
+        let no_progress = outcome.objects_moved == 0 && outcome.bytes_released == 0;
+        if fragmentation_after < self.params.frag_low || no_progress {
+            // Goal reached (or nothing more to do): efficiently observe again.
+            self.state = ControlState::Waiting;
+            self.next_event_ms = now_ms + self.params.poll_interval_ms;
+        } else {
+            // Back off so that pause / (pause + sleep) <= O_ub.
+            let sleep_ms = (pause_ms / self.params.overhead_high).max(1.0);
+            self.next_event_ms = now_ms + sleep_ms as u64;
+        }
+        pause_ms
+    }
+
+    /// Budget in bytes for the next pass: `α` times the live heap.
+    pub fn pass_budget(&self, live_bytes: u64) -> u64 {
+        ((live_bytes as f64 * self.params.alpha) as u64).max(4096)
+    }
+
+    /// Convenience driver: poll the runtime's service fragmentation, run a pass
+    /// if due, and return its report.  `now_ms` is simulated time maintained by
+    /// the caller.
+    pub fn tick(&mut self, rt: &Runtime, now_ms: u64) -> Option<PassReport> {
+        let frag = rt.service_fragmentation();
+        if !self.should_run(now_ms, frag) {
+            return None;
+        }
+        let budget = self.pass_budget(rt.service_stats().live_bytes);
+        let outcome = rt.defragment(Some(budget));
+        let frag_after = rt.service_fragmentation();
+        let pause_ms = self.on_pass_complete(now_ms, &outcome, frag_after);
+        Some(PassReport { at_ms: now_ms, outcome, pause_ms, fragmentation_after: frag_after })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AnchorageService;
+    use alaska_heap::vmem::VirtualMemory;
+
+    fn outcome(moved: u64, bytes: u64) -> DefragOutcome {
+        DefragOutcome { objects_moved: moved, bytes_moved: bytes, bytes_released: bytes, ..Default::default() }
+    }
+
+    #[test]
+    fn waits_until_fragmentation_exceeds_upper_bound() {
+        let mut c = ControlAlgorithm::new(ControlParams::default());
+        assert_eq!(c.state(), ControlState::Waiting);
+        assert!(!c.should_run(0, 1.3), "1.3 < F_ub = 1.5: stay waiting");
+        assert!(!c.should_run(100, 2.0), "poll interval not elapsed yet");
+        assert!(c.should_run(500, 2.0), "poll due and fragmentation above F_ub");
+        assert_eq!(c.state(), ControlState::Defragmenting);
+    }
+
+    #[test]
+    fn overhead_bound_schedules_backoff() {
+        let params = ControlParams { overhead_high: 0.05, ..Default::default() };
+        let mut c = ControlAlgorithm::new(params);
+        assert!(c.should_run(500, 3.0));
+        // Pass moved 10 MiB -> 10 ms pause -> sleep 200 ms to stay within 5%.
+        let pause = c.on_pass_complete(500, &outcome(100, 10 * 1024 * 1024), 2.0);
+        assert!((pause - 10.0).abs() < 1e-6);
+        assert!(!c.should_run(600, 2.0), "still sleeping off the overhead budget");
+        assert!(c.should_run(500 + 200, 2.0), "eligible again after T_defrag / O_ub");
+    }
+
+    #[test]
+    fn returns_to_waiting_below_lower_bound() {
+        let mut c = ControlAlgorithm::new(ControlParams::default());
+        assert!(c.should_run(500, 3.0));
+        c.on_pass_complete(500, &outcome(10, 1024), 1.1);
+        assert_eq!(c.state(), ControlState::Waiting);
+    }
+
+    #[test]
+    fn no_progress_returns_to_waiting() {
+        let mut c = ControlAlgorithm::new(ControlParams::default());
+        assert!(c.should_run(500, 3.0));
+        c.on_pass_complete(500, &DefragOutcome::default(), 3.0);
+        assert_eq!(c.state(), ControlState::Waiting);
+    }
+
+    #[test]
+    fn pass_budget_scales_with_alpha() {
+        let c = ControlAlgorithm::new(ControlParams { alpha: 0.5, ..Default::default() });
+        assert_eq!(c.pass_budget(1_000_000), 500_000);
+        let tiny = ControlAlgorithm::new(ControlParams { alpha: 0.01, ..Default::default() });
+        assert_eq!(tiny.pass_budget(1000), 4096, "budget has a floor");
+    }
+
+    #[test]
+    #[should_panic(expected = "F_lb < F_ub")]
+    fn invalid_bounds_panic() {
+        ControlAlgorithm::new(ControlParams { frag_low: 2.0, frag_high: 1.5, ..Default::default() });
+    }
+
+    #[test]
+    fn measured_overhead_accumulates() {
+        let mut c = ControlAlgorithm::new(ControlParams::default());
+        assert!(c.should_run(500, 3.0));
+        c.on_pass_complete(500, &outcome(1, 2 * 1024 * 1024), 2.0);
+        assert!(c.measured_overhead(1000) > 0.0);
+        assert_eq!(c.passes(), 1);
+    }
+
+    #[test]
+    fn tick_drives_a_real_runtime_to_lower_fragmentation() {
+        let vm = VirtualMemory::default();
+        let rt = Runtime::with_vm(vm.clone(), Box::new(AnchorageService::new(vm)));
+        let mut handles = Vec::new();
+        for _ in 0..3000 {
+            handles.push(rt.halloc(256).unwrap());
+        }
+        for (i, h) in handles.iter().enumerate() {
+            if i % 5 != 0 {
+                rt.hfree(*h).unwrap();
+            }
+        }
+        let frag_start = rt.service_fragmentation();
+        assert!(frag_start > 1.5);
+
+        let mut control = ControlAlgorithm::new(ControlParams::default());
+        let mut now = 0u64;
+        let mut reports = 0;
+        while now < 60_000 {
+            if control.tick(&rt, now).is_some() {
+                reports += 1;
+            }
+            now += 100;
+            if rt.service_fragmentation() < 1.2 {
+                break;
+            }
+        }
+        assert!(reports > 0, "controller must have issued passes");
+        assert!(
+            rt.service_fragmentation() < frag_start,
+            "fragmentation should fall under control"
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! **Anchorage** — the defragmenting allocator service built on top of the
+//! Alaska runtime (paper §4.3).
+//!
+//! Anchorage exploits the object mobility that handles provide to keep the
+//! heap compact.  It deliberately uses a *simple* allocator — a bump pointer
+//! with a power-of-two free list, no thread caches, no sophisticated
+//! placement — because it does not need initial placement to be clever: any
+//! fragmentation that accumulates can be repaired later by *moving* objects.
+//!
+//! The service has three parts:
+//!
+//! * [`subheap::SubHeap`] — a contiguous region allocated by bumping, with an
+//!   `O(1)` power-of-two free list for reuse (only the front of each list is
+//!   checked).
+//! * [`service::AnchorageService`] — the [`alaska_runtime::Service`]
+//!   implementation: it owns several sub-heaps, allocates from the *active*
+//!   one, and during a stop-the-world barrier moves unpinned objects out of a
+//!   *source* sub-heap into the destination, updating one handle-table entry
+//!   per object, then returns the vacated pages to the kernel with
+//!   `MADV_DONTNEED`.
+//! * [`control::ControlAlgorithm`] — the hysteresis state machine that decides
+//!   *when* to defragment and *how much*, keeping fragmentation within
+//!   `[F_lb, F_ub]` and defragmentation overhead within `[O_lb, O_ub]`, with an
+//!   aggression parameter `α` bounding the fraction of the heap moved per
+//!   pause.
+//!
+//! # Example
+//!
+//! ```
+//! use alaska_runtime::Runtime;
+//! use alaska_anchorage::AnchorageService;
+//! use alaska_heap::vmem::VirtualMemory;
+//!
+//! let vm = VirtualMemory::default();
+//! let rt = Runtime::with_vm(vm.clone(), Box::new(AnchorageService::new(vm)));
+//!
+//! // Build a fragmented heap: allocate a lot, free most of it.
+//! let handles: Vec<u64> = (0..1000).map(|_| rt.halloc(256).unwrap()).collect();
+//! for (i, h) in handles.iter().enumerate() {
+//!     if i % 4 != 0 { rt.hfree(*h).unwrap(); }
+//! }
+//! let frag_before = rt.service_fragmentation();
+//!
+//! // One stop-the-world defragmentation pass compacts the survivors.
+//! rt.defragment(None);
+//! assert!(rt.service_fragmentation() < frag_before);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod control;
+pub mod service;
+pub mod subheap;
+
+pub use control::{ControlAlgorithm, ControlParams, ControlState};
+pub use service::AnchorageService;

@@ -1,0 +1,493 @@
+//! The Anchorage service: a moving, defragmenting backing-memory allocator.
+//!
+//! Allocation policy (paper §4.3): requests go to the *active* sub-heap, first
+//! consulting its power-of-two free list, then bumping.  When the active
+//! sub-heap cannot satisfy a request, a new sub-heap is opened (or an empty one
+//! reused) and becomes active.
+//!
+//! Defragmentation policy: during a stop-the-world barrier, unpinned objects
+//! are moved from the top of a *source* sub-heap (the most fragmented non-active
+//! one, or the previous active heap when it is the only candidate) into the
+//! destination (active) sub-heap.  Each move copies the object's bytes and
+//! updates a single handle-table entry.  The vacated top of the source is then
+//! returned to the kernel with `MADV_DONTNEED`, so RSS drops as soon as the
+//! pause ends.  A `budget` bounds how many bytes may be copied per pause
+//! (partial defragmentation, amortized across pauses by the control
+//! algorithm).
+
+use crate::subheap::SubHeap;
+use alaska_heap::vmem::{VirtAddr, VirtualMemory};
+use alaska_heap::{align_up, AllocStats};
+use alaska_runtime::handle::HandleId;
+use alaska_runtime::service::{DefragOutcome, Service, ServiceContext, StoppedWorld};
+use std::collections::HashMap;
+
+/// Default capacity of a single sub-heap.
+pub const DEFAULT_SUBHEAP_CAPACITY: u64 = 64 * 1024 * 1024;
+
+#[derive(Debug, Clone, Copy)]
+struct ObjRecord {
+    subheap: usize,
+    addr: VirtAddr,
+    /// Rounded (granule-aligned) size actually occupied.
+    rounded: u64,
+    /// Size the application requested.
+    requested: u64,
+}
+
+/// Configuration for [`AnchorageService`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnchorageConfig {
+    /// Capacity of each sub-heap in bytes.
+    pub subheap_capacity: u64,
+    /// Fragmentation ratio of the active sub-heap above which a defrag pass
+    /// will rotate to a fresh destination even if no other source exists.
+    pub rotate_threshold: f64,
+}
+
+impl Default for AnchorageConfig {
+    fn default() -> Self {
+        AnchorageConfig { subheap_capacity: DEFAULT_SUBHEAP_CAPACITY, rotate_threshold: 1.2 }
+    }
+}
+
+/// The Anchorage defragmenting allocator service.
+pub struct AnchorageService {
+    vm: VirtualMemory,
+    config: AnchorageConfig,
+    subheaps: Vec<SubHeap>,
+    active: usize,
+    objects: HashMap<HandleId, ObjRecord>,
+    addr_index: HashMap<u64, HandleId>,
+    stats: AllocStats,
+    /// Total bytes ever released back to the kernel by defragmentation.
+    pub total_released: u64,
+}
+
+impl AnchorageService {
+    /// Create an Anchorage service allocating from `vm` with default
+    /// configuration.
+    pub fn new(vm: VirtualMemory) -> Self {
+        Self::with_config(vm, AnchorageConfig::default())
+    }
+
+    /// Create an Anchorage service with an explicit configuration.
+    pub fn with_config(vm: VirtualMemory, config: AnchorageConfig) -> Self {
+        let first = SubHeap::new(0, &vm, config.subheap_capacity);
+        AnchorageService {
+            vm,
+            config,
+            subheaps: vec![first],
+            active: 0,
+            objects: HashMap::new(),
+            addr_index: HashMap::new(),
+            stats: AllocStats::default(),
+            total_released: 0,
+        }
+    }
+
+    /// Number of sub-heaps currently reserved.
+    pub fn subheap_count(&self) -> usize {
+        self.subheaps.len()
+    }
+
+    /// Index of the active (allocation target) sub-heap.
+    pub fn active_subheap(&self) -> usize {
+        self.active
+    }
+
+    /// The combined used extent of all sub-heaps.
+    pub fn heap_extent(&self) -> u64 {
+        self.subheaps.iter().map(|s| s.extent()).sum()
+    }
+
+    fn recompute_extent(&mut self) {
+        self.stats.heap_extent = self.heap_extent();
+    }
+
+    /// Find a sub-heap able to serve `size`, preferring the active one, then
+    /// any empty sub-heap, then a newly reserved one.  Returns the index.
+    fn pick_subheap(&mut self, size: u64) -> Option<usize> {
+        let rounded = SubHeap::rounded_size(size);
+        if self.subheaps[self.active].extent() + rounded <= self.subheaps[self.active].capacity() {
+            return Some(self.active);
+        }
+        // The active heap may still have a usable free-listed block even if its
+        // extent is full; try it first.
+        if self.subheaps[self.active].free_listed_bytes() >= rounded {
+            return Some(self.active);
+        }
+        if let Some(idx) = self
+            .subheaps
+            .iter()
+            .position(|s| s.live_objects() == 0 && s.capacity() >= rounded)
+        {
+            self.subheaps[idx].reset();
+            self.active = idx;
+            return Some(idx);
+        }
+        let capacity = self.config.subheap_capacity.max(rounded);
+        let idx = self.subheaps.len();
+        self.subheaps.push(SubHeap::new(idx, &self.vm, capacity));
+        self.active = idx;
+        Some(idx)
+    }
+
+    /// Choose the source sub-heap for a defragmentation pass.
+    fn pick_source(&self) -> Option<usize> {
+        self.subheaps
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| *i != self.active && s.live_objects() > 0 && s.fragmentation() > 1.01)
+            .max_by(|(_, a), (_, b)| {
+                a.fragmentation()
+                    .partial_cmp(&b.fragmentation())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// After objects were moved out of sub-heap `idx`, shrink its extent to the
+    /// highest surviving object and return the vacated pages to the kernel.
+    fn trim_and_release(&mut self, idx: usize) -> u64 {
+        let max_live_end = self
+            .objects
+            .values()
+            .filter(|r| r.subheap == idx)
+            .map(|r| r.addr.offset_from(self.subheaps[idx].base()) + r.rounded)
+            .max()
+            .unwrap_or(0);
+        let base = self.subheaps[idx].base();
+        let old_extent = self.subheaps[idx].truncate_to(max_live_end);
+        if old_extent > max_live_end {
+            let page = self.vm.page_size() as u64;
+            let release_from = align_up(max_live_end, page);
+            if old_extent > release_from {
+                let released = self
+                    .vm
+                    .madvise_dontneed(base.add(release_from), old_extent - release_from);
+                self.total_released += released;
+                return released;
+            }
+        }
+        0
+    }
+}
+
+impl Service for AnchorageService {
+    fn init(&mut self, _ctx: &ServiceContext) {}
+
+    fn deinit(&mut self, _ctx: &ServiceContext) {}
+
+    fn alloc(&mut self, size: usize, id: HandleId) -> Option<VirtAddr> {
+        let idx = self.pick_subheap(size as u64)?;
+        let (idx, addr) = match self.subheaps[idx].alloc(size as u64) {
+            Some(a) => (idx, a),
+            None => {
+                // The chosen sub-heap could not serve the request after all
+                // (e.g. its free list had only smaller blocks): open a fresh one.
+                let capacity = self.config.subheap_capacity.max(SubHeap::rounded_size(size as u64));
+                let new_idx = self.subheaps.len();
+                self.subheaps.push(SubHeap::new(new_idx, &self.vm, capacity));
+                self.active = new_idx;
+                let a = self.subheaps[new_idx].alloc(size as u64)?;
+                (new_idx, a)
+            }
+        };
+        let rounded = SubHeap::rounded_size(size as u64);
+        self.objects.insert(
+            id,
+            ObjRecord { subheap: idx, addr, rounded, requested: size as u64 },
+        );
+        self.addr_index.insert(addr.0, id);
+        self.stats.live_bytes += rounded;
+        self.stats.live_objects += 1;
+        self.stats.total_allocated += size as u64;
+        self.stats.total_allocations += 1;
+        self.recompute_extent();
+        Some(addr)
+    }
+
+    fn free(&mut self, id: HandleId, _addr: VirtAddr, _size: usize) {
+        let rec = match self.objects.remove(&id) {
+            Some(r) => r,
+            None => return, // already untracked (defensive: runtime double-free is caught upstream)
+        };
+        self.addr_index.remove(&rec.addr.0);
+        self.subheaps[rec.subheap].free(rec.addr, rec.rounded);
+        self.stats.live_bytes -= rec.rounded;
+        self.stats.live_objects -= 1;
+        self.stats.total_frees += 1;
+        self.recompute_extent();
+    }
+
+    fn usable_size(&self, addr: VirtAddr) -> Option<usize> {
+        self.addr_index
+            .get(&addr.0)
+            .and_then(|id| self.objects.get(id))
+            .map(|r| r.requested as usize)
+    }
+
+    fn heap_stats(&self) -> AllocStats {
+        self.stats
+    }
+
+    fn fragmentation(&self) -> f64 {
+        alaska_heap::fragmentation_ratio(self.heap_extent(), self.stats.live_bytes)
+    }
+
+    fn defragment(&mut self, world: &mut StoppedWorld<'_>, budget_bytes: Option<u64>) -> DefragOutcome {
+        let mut outcome = DefragOutcome::default();
+        let budget = budget_bytes.unwrap_or(u64::MAX);
+
+        // Pick a source; if the only fragmented heap is the active one, rotate
+        // the active heap so it becomes a valid source.
+        let source = match self.pick_source() {
+            Some(s) => s,
+            None => {
+                let active_frag = self.subheaps[self.active].fragmentation();
+                if active_frag > self.config.rotate_threshold
+                    && self.subheaps[self.active].live_objects() > 0
+                {
+                    let old_active = self.active;
+                    // Rotate: find or create an empty destination.
+                    if let Some(idx) = self
+                        .subheaps
+                        .iter()
+                        .position(|s| s.live_objects() == 0 && s.id != old_active)
+                    {
+                        self.subheaps[idx].reset();
+                        self.active = idx;
+                    } else {
+                        let idx = self.subheaps.len();
+                        let cap = self.config.subheap_capacity;
+                        self.subheaps.push(SubHeap::new(idx, &self.vm, cap));
+                        self.active = idx;
+                    }
+                    old_active
+                } else {
+                    return outcome;
+                }
+            }
+        };
+
+        // Move unpinned objects out of the source, starting from the top so the
+        // extent can be truncated afterwards.
+        let mut source_objects: Vec<(HandleId, ObjRecord)> = self
+            .objects
+            .iter()
+            .filter(|(_, r)| r.subheap == source)
+            .map(|(id, r)| (*id, *r))
+            .collect();
+        source_objects.sort_by_key(|(_, r)| std::cmp::Reverse(r.addr.0));
+
+        for (id, rec) in source_objects {
+            if outcome.bytes_moved >= budget {
+                break;
+            }
+            if world.is_pinned(id) {
+                outcome.objects_skipped_pinned += 1;
+                continue;
+            }
+            // Destination space comes from the normal allocation path (but never
+            // from the source itself).
+            let dst_idx = match self.pick_subheap(rec.requested) {
+                Some(i) if i != source => i,
+                _ => continue,
+            };
+            let dst = match self.subheaps[dst_idx].alloc(rec.requested) {
+                Some(a) => a,
+                None => continue,
+            };
+            if !world.move_object(id, dst) {
+                // Could not move after all (e.g. freed concurrently is impossible
+                // here, but stay defensive): give the destination block back.
+                self.subheaps[dst_idx].free(dst, rec.rounded);
+                continue;
+            }
+            // Update bookkeeping: the object now lives in the destination.
+            self.subheaps[source].free(rec.addr, rec.rounded);
+            self.addr_index.remove(&rec.addr.0);
+            self.addr_index.insert(dst.0, id);
+            self.objects.insert(
+                id,
+                ObjRecord { subheap: dst_idx, addr: dst, rounded: rec.rounded, requested: rec.requested },
+            );
+            outcome.objects_moved += 1;
+            outcome.bytes_moved += rec.rounded;
+        }
+
+        outcome.bytes_released = self.trim_and_release(source);
+        self.recompute_extent();
+        outcome
+    }
+
+    fn name(&self) -> &'static str {
+        "anchorage"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alaska_runtime::Runtime;
+
+    fn runtime() -> Runtime {
+        let vm = VirtualMemory::default();
+        Runtime::with_vm(vm.clone(), Box::new(AnchorageService::new(vm)))
+    }
+
+    #[test]
+    fn allocations_come_from_the_active_subheap() {
+        let vm = VirtualMemory::default();
+        let mut svc = AnchorageService::new(vm);
+        let a = svc.alloc(100, HandleId(0)).unwrap();
+        let b = svc.alloc(100, HandleId(1)).unwrap();
+        assert_eq!(svc.subheap_count(), 1);
+        assert_eq!(b.offset_from(a), 112, "granule-rounded bump allocation");
+        assert_eq!(svc.usable_size(a), Some(100));
+    }
+
+    #[test]
+    fn exhausting_a_subheap_opens_a_new_one() {
+        let vm = VirtualMemory::default();
+        let cfg = AnchorageConfig { subheap_capacity: 4096, ..Default::default() };
+        let mut svc = AnchorageService::with_config(vm, cfg);
+        for i in 0..10 {
+            svc.alloc(1024, HandleId(i)).unwrap();
+        }
+        assert!(svc.subheap_count() > 1, "overflow must open new sub-heaps");
+        assert_eq!(svc.heap_stats().live_objects, 10);
+    }
+
+    #[test]
+    fn free_reuses_space_via_power_of_two_bins() {
+        let vm = VirtualMemory::default();
+        let mut svc = AnchorageService::new(vm);
+        let a = svc.alloc(300, HandleId(0)).unwrap();
+        svc.free(HandleId(0), a, 300);
+        let b = svc.alloc(300, HandleId(1)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn defragmentation_compacts_a_fragmented_heap_end_to_end() {
+        let rt = runtime();
+        // Allocate 2000 objects, write distinctive data, free 80% of them.
+        let mut handles = Vec::new();
+        for i in 0..2000u64 {
+            let h = rt.halloc(256).unwrap();
+            rt.write_u64(h, 0, i);
+            handles.push(h);
+        }
+        let mut survivors = Vec::new();
+        for (i, h) in handles.iter().enumerate() {
+            if i % 5 == 0 {
+                survivors.push((*h, i as u64));
+            } else {
+                rt.hfree(*h).unwrap();
+            }
+        }
+        let frag_before = rt.service_fragmentation();
+        assert!(frag_before > 3.0, "heap should be badly fragmented, got {frag_before}");
+
+        let outcome = rt.defragment(None);
+        assert!(outcome.objects_moved > 0);
+        let frag_after = rt.service_fragmentation();
+        assert!(
+            frag_after < frag_before / 2.0,
+            "defrag should at least halve fragmentation ({frag_before} -> {frag_after})"
+        );
+        // Every survivor still reads back its value through its (unchanged) handle.
+        for (h, v) in survivors {
+            assert_eq!(rt.read_u64(h, 0), v);
+        }
+    }
+
+    #[test]
+    fn defragmentation_releases_memory_to_the_kernel() {
+        let rt = runtime();
+        let mut handles = Vec::new();
+        for _ in 0..4000u64 {
+            let h = rt.halloc(512).unwrap();
+            rt.write_u64(h, 0, 1);
+            handles.push(h);
+        }
+        for (i, h) in handles.iter().enumerate() {
+            if i % 10 != 0 {
+                rt.hfree(*h).unwrap();
+            }
+        }
+        let rss_before = rt.rss_bytes();
+        let outcome = rt.defragment(None);
+        assert!(outcome.bytes_released > 0, "vacated pages must be madvised away");
+        let rss_after = rt.rss_bytes();
+        assert!(
+            rss_after < rss_before,
+            "RSS must drop after defragmentation ({rss_before} -> {rss_after})"
+        );
+    }
+
+    #[test]
+    fn budget_limits_bytes_moved_per_pass() {
+        let rt = runtime();
+        let mut handles = Vec::new();
+        for _ in 0..1000u64 {
+            handles.push(rt.halloc(256).unwrap());
+        }
+        for (i, h) in handles.iter().enumerate() {
+            if i % 2 == 0 {
+                rt.hfree(*h).unwrap();
+            }
+        }
+        let outcome = rt.defragment(Some(10 * 256));
+        assert!(outcome.bytes_moved <= 10 * 256 + 256, "budget respected (one object slack)");
+        assert!(outcome.objects_moved <= 11);
+    }
+
+    #[test]
+    fn pinned_objects_are_skipped() {
+        let rt = runtime();
+        let mut handles = Vec::new();
+        for _ in 0..200u64 {
+            handles.push(rt.halloc(128).unwrap());
+        }
+        for (i, h) in handles.iter().enumerate() {
+            if i % 2 == 0 {
+                rt.hfree(*h).unwrap();
+            }
+        }
+        // Pin one survivor; it must not move.
+        let pinned_handle = handles[1];
+        let guard = rt.pin(pinned_handle);
+        let addr_before = guard.addr();
+        let outcome = rt.defragment(None);
+        assert!(outcome.objects_skipped_pinned >= 1);
+        assert_eq!(rt.translate(pinned_handle).unwrap(), addr_before);
+        drop(guard);
+    }
+
+    #[test]
+    fn repeated_cycles_do_not_leak_subheaps() {
+        let vm = VirtualMemory::default();
+        let cfg = AnchorageConfig { subheap_capacity: 1 << 20, ..Default::default() };
+        let rt = Runtime::with_vm(vm.clone(), Box::new(AnchorageService::with_config(vm, cfg)));
+        for _round in 0..5 {
+            let handles: Vec<u64> = (0..2000).map(|_| rt.halloc(300).unwrap()).collect();
+            for (i, h) in handles.iter().enumerate() {
+                if i % 4 != 0 {
+                    rt.hfree(*h).unwrap();
+                }
+            }
+            rt.defragment(None);
+            for (i, h) in handles.iter().enumerate() {
+                if i % 4 == 0 {
+                    rt.hfree(*h).unwrap();
+                }
+            }
+        }
+        assert_eq!(rt.live_handles(), 0);
+        let frag = rt.service_fragmentation();
+        assert!(frag <= 2.0, "empty heap should not report high fragmentation (got {frag})");
+    }
+}

@@ -1,0 +1,75 @@
+//! Criterion microbenchmarks of the runtime's hot paths: the §3.3 translation
+//! sequence, pin/unpin, `halloc`/`hfree`, the handle-fault check (§7, the
+//! ~1–2% extra cost) and a stop-the-world barrier over a populated heap.
+
+use alaska::AlaskaBuilder;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_translate(c: &mut Criterion) {
+    let rt = AlaskaBuilder::new().with_anchorage().build();
+    let h = rt.halloc(64).unwrap();
+    let ptr = rt.vm().map(4096).0;
+    let mut group = c.benchmark_group("translate");
+    group.bench_function("handle", |b| b.iter(|| std::hint::black_box(rt.translate(h).unwrap())));
+    group.bench_function("raw_pointer_passthrough", |b| {
+        b.iter(|| std::hint::black_box(rt.translate(ptr).unwrap()))
+    });
+    rt.enable_handle_faults(true);
+    group.bench_function("handle_with_fault_check", |b| {
+        b.iter(|| std::hint::black_box(rt.translate(h).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_pin(c: &mut Criterion) {
+    let rt = AlaskaBuilder::new().with_anchorage().build();
+    let h = rt.halloc(64).unwrap();
+    c.bench_function("pin_unpin", |b| {
+        b.iter(|| {
+            let p = rt.pin(h);
+            std::hint::black_box(p.addr());
+        })
+    });
+}
+
+fn bench_alloc(c: &mut Criterion) {
+    let rt = AlaskaBuilder::new().with_anchorage().build();
+    c.bench_function("halloc_hfree_64B", |b| {
+        b.iter(|| {
+            let h = rt.halloc(64).unwrap();
+            rt.hfree(h).unwrap();
+        })
+    });
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    c.bench_function("defrag_barrier_10k_objects", |b| {
+        b.iter_batched(
+            || {
+                let rt = AlaskaBuilder::new().with_anchorage().build();
+                let handles: Vec<u64> = (0..10_000).map(|_| rt.halloc(128).unwrap()).collect();
+                for (i, h) in handles.iter().enumerate() {
+                    if i % 2 == 0 {
+                        rt.hfree(*h).unwrap();
+                    }
+                }
+                rt
+            },
+            |rt| {
+                std::hint::black_box(rt.defragment(Some(1 << 20)));
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_translate, bench_pin, bench_alloc, bench_barrier
+}
+criterion_main!(benches);

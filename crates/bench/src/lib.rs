@@ -1,0 +1,28 @@
+//! Shared experiment drivers for the figure-regeneration benches.
+//!
+//! Each `benches/figN_*.rs` target is a thin `main` that calls into this
+//! library, prints the series the corresponding figure plots, and emits a JSON
+//! blob so the numbers can be post-processed.  The experiment logic lives here
+//! so integration tests can exercise it at reduced scale.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod memcached;
+pub mod redis;
+
+use serde::Serialize;
+
+/// Emit a machine-readable copy of a result next to the human-readable rows.
+pub fn emit_json<T: Serialize>(label: &str, value: &T) {
+    match serde_json::to_string(value) {
+        Ok(s) => println!("JSON {label} {s}"),
+        Err(e) => eprintln!("failed to serialize {label}: {e}"),
+    }
+}
+
+/// Read an `f64` scale factor from the environment (used to shrink or enlarge
+/// experiments without recompiling), defaulting to `default`.
+pub fn env_scale(var: &str, default: f64) -> f64 {
+    std::env::var(var).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}

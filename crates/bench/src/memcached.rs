@@ -1,0 +1,204 @@
+//! The memcached pause-time experiment behind Figure 12.
+//!
+//! Worker threads issue closed-loop YCSB-A requests against a
+//! [`ShardedStore`] whose values live behind Alaska handles; a control thread
+//! stops the world every `pause_interval_ms` and relocates about 1 MiB of
+//! objects, regardless of fragmentation (the paper's synthetic setup).  The
+//! workers record per-request latency; the figure plots mean latency against
+//! the pause interval for different thread counts.
+
+use alaska::AlaskaBuilder;
+use alaska_kvstore::ShardedStore;
+use alaska_ycsb::{LatencyHistogram, Op, Workload, WorkloadConfig, WorkloadKind};
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Parameters of one pause-experiment configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PauseExperimentConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Interval between stop-the-world pauses, in milliseconds.  `None`
+    /// disables pauses entirely (the no-pause reference).
+    pub pause_interval_ms: Option<u64>,
+    /// Wall-clock duration of the measurement, in milliseconds.
+    pub duration_ms: u64,
+    /// Number of records preloaded into the store.
+    pub record_count: u64,
+    /// Value size in bytes.
+    pub value_size: usize,
+    /// Bytes relocated per pause (~1 MiB in the paper).
+    pub move_budget_bytes: u64,
+}
+
+impl Default for PauseExperimentConfig {
+    fn default() -> Self {
+        PauseExperimentConfig {
+            threads: 4,
+            pause_interval_ms: Some(200),
+            duration_ms: 400,
+            record_count: 20_000,
+            value_size: 128,
+            move_budget_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Result of one configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct PauseExperimentResult {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Pause interval in milliseconds (0 = no pauses).
+    pub pause_interval_ms: u64,
+    /// Requests completed.
+    pub operations: u64,
+    /// Mean request latency in microseconds.
+    pub mean_us: f64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: f64,
+    /// Latency standard deviation in microseconds.
+    pub stddev_us: f64,
+    /// Stop-the-world pauses executed.
+    pub pauses: u64,
+    /// Mean pause duration in microseconds.
+    pub mean_pause_us: f64,
+    /// Objects moved across all pauses.
+    pub objects_moved: u64,
+}
+
+/// Run one configuration of the pause experiment.
+pub fn run_pause_experiment(cfg: &PauseExperimentConfig) -> PauseExperimentResult {
+    let rt = Arc::new(AlaskaBuilder::new().with_anchorage().build());
+    let store = Arc::new(ShardedStore::new(rt.clone(), 16));
+
+    // Preload.
+    for key in 0..cfg.record_count {
+        store.set(key, &Workload::value_for(key, cfg.value_size));
+    }
+    let moved_before = rt.stats().objects_moved;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    for t in 0..cfg.threads {
+        let store = store.clone();
+        let stop = stop.clone();
+        let wcfg = WorkloadConfig {
+            kind: WorkloadKind::A,
+            record_count: cfg.record_count,
+            value_size: cfg.value_size,
+            seed: 1000 + t as u64,
+            ..Default::default()
+        };
+        workers.push(std::thread::spawn(move || {
+            let _guard = store.runtime().register_current_thread();
+            let mut workload = Workload::new(wcfg);
+            let mut hist = LatencyHistogram::new();
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let op = workload.next_op();
+                let start = Instant::now();
+                match op {
+                    Op::Read(k) => {
+                        let _ = store.get(k);
+                    }
+                    Op::Update(k, len) | Op::Insert(k, len) => {
+                        store.set(k, &Workload::value_for(k, len));
+                    }
+                    Op::ReadModifyWrite(k, len) => {
+                        let _ = store.get(k);
+                        store.set(k, &Workload::value_for(k.wrapping_add(1), len));
+                    }
+                }
+                hist.record_ns(start.elapsed().as_nanos() as u64);
+                ops += 1;
+            }
+            (hist, ops)
+        }));
+    }
+
+    // Control loop: periodic stop-the-world relocation pauses.
+    let deadline = Instant::now() + Duration::from_millis(cfg.duration_ms);
+    let mut pauses = 0u64;
+    let mut pause_time = Duration::ZERO;
+    while Instant::now() < deadline {
+        match cfg.pause_interval_ms {
+            Some(interval) => {
+                let next = Instant::now() + Duration::from_millis(interval.max(1));
+                let start = Instant::now();
+                rt.defragment(Some(cfg.move_budget_bytes));
+                pause_time += start.elapsed();
+                pauses += 1;
+                let now = Instant::now();
+                if next > now {
+                    std::thread::sleep((next - now).min(deadline.saturating_duration_since(now)));
+                }
+            }
+            None => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+
+    let mut merged = LatencyHistogram::new();
+    let mut total_ops = 0u64;
+    for w in workers {
+        let (hist, ops) = w.join().expect("worker panicked");
+        merged.merge(&hist);
+        total_ops += ops;
+    }
+
+    PauseExperimentResult {
+        threads: cfg.threads,
+        pause_interval_ms: cfg.pause_interval_ms.unwrap_or(0),
+        operations: total_ops,
+        mean_us: merged.mean_us(),
+        p99_us: merged.percentile_us(99.0),
+        stddev_us: merged.stddev_us(),
+        pauses,
+        mean_pause_us: if pauses == 0 {
+            0.0
+        } else {
+            pause_time.as_micros() as f64 / pauses as f64
+        },
+        objects_moved: rt.stats().objects_moved - moved_before,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pause_experiment_completes_and_moves_objects() {
+        let cfg = PauseExperimentConfig {
+            threads: 2,
+            pause_interval_ms: Some(20),
+            duration_ms: 120,
+            record_count: 2_000,
+            value_size: 64,
+            move_budget_bytes: 256 * 1024,
+        };
+        let r = run_pause_experiment(&cfg);
+        assert!(r.operations > 0);
+        assert!(r.pauses > 0);
+        assert!(r.mean_us > 0.0);
+        assert!(r.p99_us >= r.mean_us * 0.5);
+    }
+
+    #[test]
+    fn no_pause_reference_runs() {
+        let cfg = PauseExperimentConfig {
+            threads: 1,
+            pause_interval_ms: None,
+            duration_ms: 60,
+            record_count: 1_000,
+            value_size: 64,
+            move_budget_bytes: 0,
+        };
+        let r = run_pause_experiment(&cfg);
+        assert_eq!(r.pauses, 0);
+        assert!(r.operations > 0);
+    }
+}

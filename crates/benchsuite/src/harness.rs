@@ -1,0 +1,228 @@
+//! The overhead-measurement harness behind Figures 7 and 8.
+//!
+//! For each benchmark the harness builds the IR module, compiles it with the
+//! requested pipeline configurations, runs baseline and transformed programs in
+//! the interpreter against fresh runtimes, checks that they compute the same
+//! result, and reports the modelled-cycle overhead together with the dynamic
+//! event counts that explain it.
+
+use crate::{all_benchmarks, spec_benchmarks, Benchmark, Scale, STRICT_ALIASING_VIOLATORS};
+use alaska_compiler::pipeline::{compile_module, CompileReport, PipelineConfig};
+use alaska_ir::interp::{DynamicCounts, InterpConfig, Interpreter};
+use alaska_ir::module::Module;
+use alaska_runtime::Runtime;
+
+/// Measurement of one benchmark under one pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct ConfigMeasurement {
+    /// Configuration label ("alaska", "nohoisting", "notracking", "baseline").
+    pub config: String,
+    /// Modelled cycles.
+    pub cycles: u64,
+    /// Overhead relative to the baseline, in percent.
+    pub overhead_pct: f64,
+    /// Dynamic event counts.
+    pub dynamic: DynamicCounts,
+    /// Static code-size growth factor versus the baseline module.
+    pub code_growth: f64,
+}
+
+/// All measurements for one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Suite label.
+    pub suite: &'static str,
+    /// Baseline modelled cycles.
+    pub baseline_cycles: u64,
+    /// Return value (identical across configurations by construction).
+    pub checksum: u64,
+    /// Per-configuration measurements.
+    pub configs: Vec<ConfigMeasurement>,
+}
+
+impl BenchmarkResult {
+    /// The measurement for a configuration label, if present.
+    pub fn config(&self, label: &str) -> Option<&ConfigMeasurement> {
+        self.configs.iter().find(|c| c.config == label)
+    }
+
+    /// Overhead (%) of the full Alaska configuration.
+    pub fn alaska_overhead_pct(&self) -> f64 {
+        self.config("alaska").map(|c| c.overhead_pct).unwrap_or(0.0)
+    }
+}
+
+fn run_module(m: &Module) -> (u64, u64, DynamicCounts) {
+    let rt = Runtime::with_malloc_service();
+    let mut interp = Interpreter::new(m, &rt, InterpConfig::default());
+    let r = interp
+        .run("main", &[])
+        .unwrap_or_else(|e| panic!("benchmark `{}` failed to run: {e}", m.name));
+    (r.return_value.unwrap_or(0), r.cycles, r.dynamic)
+}
+
+/// Measure one benchmark under the given configurations.
+///
+/// `perlbench` and `gcc` violate the strict-aliasing assumption (§3.2), so —
+/// as in the paper — any "alaska" configuration is silently downgraded to the
+/// hoisting-disabled pipeline for them.
+pub fn measure_benchmark(
+    bench: &Benchmark,
+    configs: &[PipelineConfig],
+    scale: Scale,
+) -> BenchmarkResult {
+    let module = (bench.build)(scale);
+    let (baseline_value, baseline_cycles, _) = run_module(&module);
+
+    let mut result = BenchmarkResult {
+        name: bench.name.to_string(),
+        suite: bench.suite.label(),
+        baseline_cycles,
+        checksum: baseline_value,
+        configs: Vec::new(),
+    };
+
+    for config in configs {
+        let mut effective = *config;
+        if STRICT_ALIASING_VIOLATORS.contains(&bench.name) && effective.hoisting {
+            effective = PipelineConfig { hoisting: false, ..effective };
+        }
+        let (transformed, report) = compile_module(&module, &effective);
+        let (value, cycles, dynamic) = run_module(&transformed);
+        assert_eq!(
+            value, baseline_value,
+            "{}: {} changed the program result",
+            bench.name,
+            config.label()
+        );
+        result.configs.push(ConfigMeasurement {
+            config: config.label().to_string(),
+            cycles,
+            overhead_pct: (cycles as f64 / baseline_cycles as f64 - 1.0) * 100.0,
+            dynamic,
+            code_growth: report.code_growth(),
+        });
+    }
+    result
+}
+
+/// Figure 7: the full-Alaska overhead across every benchmark.
+pub fn run_overhead_study(scale: Scale) -> Vec<BenchmarkResult> {
+    all_benchmarks()
+        .iter()
+        .map(|b| measure_benchmark(b, &[PipelineConfig::full()], scale))
+        .collect()
+}
+
+/// Figure 8: the ablation (alaska / notracking / nohoisting) over the
+/// SPEC-like subset.
+pub fn run_ablation_study(scale: Scale) -> Vec<BenchmarkResult> {
+    let configs = [
+        PipelineConfig::full(),
+        PipelineConfig::no_tracking(),
+        PipelineConfig::no_hoisting(),
+    ];
+    spec_benchmarks()
+        .iter()
+        .map(|b| measure_benchmark(b, &configs, scale))
+        .collect()
+}
+
+/// Geometric mean of `1 + overhead` minus one, in percent — the "geomean" bar
+/// of Figure 7.
+pub fn geomean_overhead_pct(results: &[BenchmarkResult], config: &str) -> f64 {
+    let factors: Vec<f64> = results
+        .iter()
+        .filter_map(|r| r.config(config))
+        .map(|c| 1.0 + c.overhead_pct / 100.0)
+        .collect();
+    if factors.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = factors.iter().map(|f| f.ln()).sum();
+    ((log_sum / factors.len() as f64).exp() - 1.0) * 100.0
+}
+
+/// Static code-size study (§5.2): compile every benchmark with the full
+/// pipeline and report the growth factors.
+pub fn run_codesize_study(scale: Scale) -> Vec<(String, CompileReport)> {
+    all_benchmarks()
+        .iter()
+        .map(|b| {
+            let module = (b.build)(scale);
+            let (_m, report) = compile_module(&module, &PipelineConfig::full());
+            (b.name.to_string(), report)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::find_benchmark;
+
+    #[test]
+    fn measuring_a_single_benchmark_produces_consistent_rows() {
+        let bench = find_benchmark("lbm").unwrap();
+        let r = measure_benchmark(
+            &bench,
+            &[PipelineConfig::full(), PipelineConfig::no_hoisting()],
+            Scale(0.05),
+        );
+        assert_eq!(r.configs.len(), 2);
+        let alaska = r.config("alaska").unwrap();
+        let nohoist = r.config("nohoisting").unwrap();
+        assert!(alaska.cycles >= r.baseline_cycles);
+        assert!(
+            nohoist.cycles >= alaska.cycles,
+            "disabling hoisting cannot make the program faster"
+        );
+        assert!(alaska.code_growth >= 1.0);
+    }
+
+    #[test]
+    fn strict_aliasing_violators_are_compiled_without_hoisting() {
+        let bench = find_benchmark("perlbench").unwrap();
+        let r = measure_benchmark(&bench, &[PipelineConfig::full()], Scale(0.03));
+        let alaska = r.config("alaska").unwrap();
+        // With hoisting force-disabled, every load/store translates: the
+        // dynamic translation count must be of the same order as the accesses.
+        assert!(alaska.dynamic.handle_checks * 2 >= alaska.dynamic.loads);
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        let bench = find_benchmark("crc32").unwrap();
+        let r1 = measure_benchmark(&bench, &[PipelineConfig::full()], Scale(0.03));
+        let results = vec![r1];
+        let g = geomean_overhead_pct(&results, "alaska");
+        let expected = results[0].config("alaska").unwrap().overhead_pct;
+        assert!((g - expected).abs() < 1e-9, "geomean of one element is itself");
+    }
+
+    #[test]
+    fn hoisting_helps_array_codes_much_more_than_pointer_chasers() {
+        let scale = Scale(0.05);
+        let lbm = measure_benchmark(
+            &find_benchmark("lbm").unwrap(),
+            &[PipelineConfig::full(), PipelineConfig::no_hoisting()],
+            scale,
+        );
+        let mcf = measure_benchmark(
+            &find_benchmark("mcf").unwrap(),
+            &[PipelineConfig::full(), PipelineConfig::no_hoisting()],
+            scale,
+        );
+        let lbm_gain = lbm.config("nohoisting").unwrap().overhead_pct
+            - lbm.config("alaska").unwrap().overhead_pct;
+        let lbm_alaska = lbm.config("alaska").unwrap().overhead_pct;
+        let mcf_alaska = mcf.config("alaska").unwrap().overhead_pct;
+        assert!(lbm_gain > 5.0, "hoisting should matter for lbm (gain {lbm_gain:.1}%)");
+        assert!(
+            mcf_alaska > lbm_alaska,
+            "pointer chasing ({mcf_alaska:.1}%) must cost more than grid sweeps ({lbm_alaska:.1}%)"
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! Synthetic benchmark programs and the overhead-measurement harness for the
+//! paper's Figures 7 and 8.
+//!
+//! SPEC CPU 2017 is licensed and the real Embench/GAPBS/NAS sources are
+//! hundreds of thousands of lines of C; what determines Alaska's overhead,
+//! however, is the *memory-access structure* of a program: whether pointers
+//! are defined outside hot loops (translations hoist and amortise) or inside
+//! them (pointer chasing translates every iteration), how much work happens
+//! per translation, and how often external code is called.  This crate builds
+//! IR programs that mirror those structures, grouped under the same suite
+//! names the paper uses:
+//!
+//! * **Embench-like** — small embedded kernels: checksum/table loops, matrix
+//!   multiply, n-body, state machines, a string searcher and a linked-list
+//!   library stand-in (`sglib`),
+//! * **GAPBS-like** — graph kernels (BFS, PageRank, connected components,
+//!   SSSP, triangle counting) over CSR arrays,
+//! * **NAS-like** — dense grid/stencil codes with deep loop nests,
+//! * **SPEC-like** — the mixed behaviours the paper singles out: `mcf`'s
+//!   pointer sorting, `xalancbmk`'s linked structures, `lbm`'s grid sweeps,
+//!   `xz`'s table-driven compression loop, `deepsjeng`/`leela` tree search and
+//!   a `perlbench`-style string/hash workload.
+//!
+//! [`harness`] compiles each program with the requested
+//! [`alaska_compiler::PipelineConfig`]s, executes baseline and transformed
+//! code in the IR interpreter and reports modelled-cycle overheads.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod harness;
+pub mod programs;
+
+use alaska_ir::module::Module;
+
+/// Benchmark suite names used in Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// Embench-like embedded kernels.
+    Embench,
+    /// GAP benchmark suite-like graph kernels.
+    Gap,
+    /// NAS parallel benchmarks-like dense numeric codes.
+    Nas,
+    /// SPEC CPU 2017-like application kernels.
+    Spec,
+}
+
+impl Suite {
+    /// Display name matching the paper's figure labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Suite::Embench => "Embench",
+            Suite::Gap => "GAP",
+            Suite::Nas => "NAS",
+            Suite::Spec => "SPEC2017",
+        }
+    }
+}
+
+/// Workload scale knob: 1.0 is the default used by the figure harnesses; tests
+/// use smaller values to stay fast.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale(pub f64);
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale(1.0)
+    }
+}
+
+impl Scale {
+    /// Scale an element count, keeping a sane minimum.
+    pub fn n(&self, base: i64) -> i64 {
+        ((base as f64 * self.0) as i64).max(4)
+    }
+}
+
+/// A named benchmark program.
+pub struct Benchmark {
+    /// Benchmark name (matches the paper's x-axis labels where applicable).
+    pub name: &'static str,
+    /// The suite it belongs to.
+    pub suite: Suite,
+    /// Builds the IR module at the given scale.
+    pub build: fn(Scale) -> Module,
+    /// Expected return value of `main` at scale 1.0, if deterministic and
+    /// cheap to state (used as a self-check by the harness when present).
+    pub entry: &'static str,
+}
+
+impl std::fmt::Debug for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Benchmark")
+            .field("name", &self.name)
+            .field("suite", &self.suite)
+            .finish()
+    }
+}
+
+/// All benchmarks of the Figure 7 study, in suite order.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    use programs::*;
+    let mut v = Vec::new();
+    let mut add = |name: &'static str, suite: Suite, build: fn(Scale) -> Module| {
+        v.push(Benchmark { name, suite, build, entry: "main" });
+    };
+
+    // ---- Embench-like ----
+    add("aha-mont64", Suite::Embench, arrays::build_checksum_kernel);
+    add("crc32", Suite::Embench, arrays::build_crc32);
+    add("cubic", Suite::Embench, arrays::build_polynomial_kernel);
+    add("edn", Suite::Embench, arrays::build_dot_product);
+    add("huffbench", Suite::Embench, pointer::build_huffman_tree);
+    add("matmult-int", Suite::Embench, arrays::build_matmult);
+    add("md5sum", Suite::Embench, arrays::build_checksum_kernel);
+    add("minver", Suite::Embench, arrays::build_matmult_small);
+    add("nbody", Suite::Embench, arrays::build_nbody);
+    add("nettle-aes", Suite::Embench, arrays::build_table_cipher);
+    add("nettle-sha256", Suite::Embench, arrays::build_checksum_kernel);
+    add("nsichneu", Suite::Embench, arrays::build_state_machine);
+    add("picojpeg", Suite::Embench, arrays::build_table_cipher);
+    add("primecount", Suite::Embench, arrays::build_sieve);
+    add("qrduino", Suite::Embench, arrays::build_table_cipher);
+    add("sglib", Suite::Embench, pointer::build_sglib_lists);
+    add("slre", Suite::Embench, strings::build_string_match);
+    add("st", Suite::Embench, arrays::build_dot_product);
+    add("statemate", Suite::Embench, arrays::build_state_machine);
+    add("tarfind", Suite::Embench, strings::build_string_match);
+    add("ud", Suite::Embench, arrays::build_matmult_small);
+    add("wikisort", Suite::Embench, pointer::build_merge_sort);
+
+    // ---- GAPBS-like ----
+    add("bc", Suite::Gap, graph::build_bfs);
+    add("bfs", Suite::Gap, graph::build_bfs);
+    add("cc", Suite::Gap, graph::build_components);
+    add("cc_sv", Suite::Gap, graph::build_components);
+    add("pr", Suite::Gap, graph::build_pagerank);
+    add("pr_spmv", Suite::Gap, graph::build_pagerank);
+    add("sssp", Suite::Gap, graph::build_sssp);
+    add("tc", Suite::Gap, graph::build_triangle_count);
+
+    // ---- NAS-like ----
+    add("bt", Suite::Nas, arrays::build_grid_stencil);
+    add("cg", Suite::Nas, arrays::build_sparse_matvec);
+    add("ep", Suite::Nas, arrays::build_embarrassingly_parallel);
+    add("ft", Suite::Nas, arrays::build_grid_stencil);
+    add("is", Suite::Nas, arrays::build_bucket_sort);
+    add("lu", Suite::Nas, arrays::build_grid_stencil);
+    add("mg", Suite::Nas, arrays::build_grid_stencil);
+    add("sp", Suite::Nas, arrays::build_grid_stencil);
+
+    // ---- SPEC CPU 2017-like ----
+    add("perlbench", Suite::Spec, strings::build_hash_interpreter);
+    add("gcc", Suite::Spec, pointer::build_ir_walker);
+    add("mcf", Suite::Spec, pointer::build_pointer_sort);
+    add("lbm", Suite::Spec, arrays::build_grid_stencil_large);
+    add("xalancbmk", Suite::Spec, pointer::build_dom_tree);
+    add("x264", Suite::Spec, arrays::build_block_encoder);
+    add("deepsjeng", Suite::Spec, pointer::build_game_tree);
+    add("imagick", Suite::Spec, arrays::build_block_encoder);
+    add("leela", Suite::Spec, pointer::build_game_tree);
+    add("nab", Suite::Spec, arrays::build_nbody);
+    add("xz", Suite::Spec, arrays::build_table_cipher);
+
+    v
+}
+
+/// Look up a benchmark by name.
+pub fn find_benchmark(name: &str) -> Option<Benchmark> {
+    all_benchmarks().into_iter().find(|b| b.name == name)
+}
+
+/// The SPEC-like subset used for the Figure 8 ablation.
+pub fn spec_benchmarks() -> Vec<Benchmark> {
+    all_benchmarks().into_iter().filter(|b| b.suite == Suite::Spec).collect()
+}
+
+/// The two SPEC benchmarks that violate the strict-aliasing assumption and are
+/// compiled with hoisting disabled in Figure 7 (§5.2).
+pub const STRICT_ALIASING_VIOLATORS: &[&str] = &["perlbench", "gcc"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alaska_ir::verify::verify_module;
+
+    #[test]
+    fn registry_is_nonempty_and_unique() {
+        let benches = all_benchmarks();
+        assert!(benches.len() >= 40, "Figure 7 evaluates dozens of benchmarks");
+        let mut names: Vec<_> = benches.iter().map(|b| b.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), benches.len(), "benchmark names must be unique");
+    }
+
+    #[test]
+    fn every_suite_is_represented() {
+        let benches = all_benchmarks();
+        for suite in [Suite::Embench, Suite::Gap, Suite::Nas, Suite::Spec] {
+            assert!(benches.iter().any(|b| b.suite == suite), "missing {suite:?}");
+        }
+    }
+
+    #[test]
+    fn all_benchmark_modules_verify() {
+        for b in all_benchmarks() {
+            let m = (b.build)(Scale(0.05));
+            verify_module(&m).unwrap_or_else(|e| panic!("{} fails to verify: {e}", b.name));
+            assert!(m.function(b.entry).is_some(), "{} lacks entry {}", b.name, b.entry);
+        }
+    }
+
+    #[test]
+    fn find_benchmark_works() {
+        assert!(find_benchmark("mcf").is_some());
+        assert!(find_benchmark("does-not-exist").is_none());
+        assert_eq!(spec_benchmarks().len(), 11);
+    }
+
+    #[test]
+    fn scale_respects_minimum() {
+        assert_eq!(Scale(0.0001).n(100), 4);
+        assert_eq!(Scale(2.0).n(100), 200);
+    }
+}

@@ -1,0 +1,679 @@
+//! Dense-array and table-driven kernels: the Embench/NAS/`lbm`/`xz` end of the
+//! spectrum, where pointers are defined once and dereferenced in hot loops, so
+//! Alaska's hoisting amortises nearly all translation cost.
+
+use super::{counted_loop, counted_loop_acc, elem, lcg_index};
+use crate::Scale;
+use alaska_ir::module::{BasicBlockId, BinOp, FunctionBuilder, Module, Operand, ValueId};
+
+/// Allocate an `n`-element array and fill `a[i] = f(i)` where `f` is a cheap
+/// LCG-style mix, returning the array value.
+fn alloc_and_fill(
+    b: &mut FunctionBuilder,
+    cur: BasicBlockId,
+    n: i64,
+    mix: i64,
+) -> (BasicBlockId, ValueId) {
+    let arr = b.malloc(cur, Operand::Const(n * 8));
+    let (exit, _) = counted_loop(b, cur, Operand::Const(n), |b, bb, i| {
+        let v = b.binop(bb, BinOp::Mul, Operand::Value(i), Operand::Const(mix));
+        let v2 = b.binop(bb, BinOp::Xor, Operand::Value(v), Operand::Const(0x5bd1e995));
+        let slot = elem(b, bb, arr, Operand::Value(i));
+        b.store(bb, Operand::Value(slot), Operand::Value(v2));
+        bb
+    });
+    (exit, arr)
+}
+
+/// Streaming reduction over one array: `passes` sweeps, `extra_ops` ALU
+/// operations per element (models compute intensity per translation).
+fn streaming(name: &str, n: i64, passes: i64, extra_ops: u32) -> Module {
+    let mut m = Module::new(name);
+    let mut b = FunctionBuilder::new("main", 0);
+    let entry = b.entry_block();
+    let (cur, arr) = alloc_and_fill(&mut b, entry, n, 2654435761);
+    let (exit, total) = counted_loop_acc(
+        &mut b,
+        cur,
+        Operand::Const(passes),
+        Operand::Const(0),
+        |b, bb, p, outer_acc| {
+            let (inner_exit, acc) = counted_loop_acc(
+                b,
+                bb,
+                Operand::Const(n),
+                Operand::Value(outer_acc),
+                |b, bb, i, acc| {
+                    let slot = elem(b, bb, arr, Operand::Value(i));
+                    let v = b.load(bb, Operand::Value(slot));
+                    let mut cur = v;
+                    for k in 0..extra_ops {
+                        cur = b.binop(
+                            bb,
+                            if k % 2 == 0 { BinOp::Xor } else { BinOp::Add },
+                            Operand::Value(cur),
+                            Operand::Const(0x9e37_79b9 + k as i64),
+                        );
+                    }
+                    let acc2 = b.binop(bb, BinOp::Add, Operand::Value(acc), Operand::Value(cur));
+                    (bb, Operand::Value(acc2))
+                },
+            );
+            let _ = p;
+            (inner_exit, Operand::Value(acc))
+        },
+    );
+    b.free(exit, Operand::Value(arr));
+    b.ret(exit, Some(Operand::Value(total)));
+    m.add_function(b.finish());
+    m
+}
+
+/// Table-driven kernel: sweep a buffer, indexing a lookup table with the
+/// (masked) element value.  `chained` makes each lookup depend on the previous
+/// one (a state machine), which serializes but does not change hoistability.
+fn table_kernel(name: &str, n: i64, table_size: i64, passes: i64, chained: bool) -> Module {
+    let mut m = Module::new(name);
+    let mut b = FunctionBuilder::new("main", 0);
+    let entry = b.entry_block();
+    let (cur, buf) = alloc_and_fill(&mut b, entry, n, 40503);
+    let (cur, table) = alloc_and_fill(&mut b, cur, table_size, 2246822519);
+    let (exit, total) = counted_loop_acc(
+        &mut b,
+        cur,
+        Operand::Const(passes),
+        Operand::Const(0),
+        |b, bb, _p, outer_acc| {
+            let (inner_exit, acc) = counted_loop_acc(
+                b,
+                bb,
+                Operand::Const(n),
+                Operand::Value(outer_acc),
+                |b, bb, i, acc| {
+                    let slot = elem(b, bb, buf, Operand::Value(i));
+                    let v = b.load(bb, Operand::Value(slot));
+                    let key = if chained {
+                        b.binop(bb, BinOp::Add, Operand::Value(v), Operand::Value(acc))
+                    } else {
+                        v
+                    };
+                    let masked = b.binop(bb, BinOp::And, Operand::Value(key), Operand::Const(table_size - 1));
+                    let tslot = elem(b, bb, table, Operand::Value(masked));
+                    let tv = b.load(bb, Operand::Value(tslot));
+                    let mixed = b.binop(bb, BinOp::Xor, Operand::Value(acc), Operand::Value(tv));
+                    let acc2 = b.binop(bb, BinOp::Add, Operand::Value(mixed), Operand::Const(1));
+                    (bb, Operand::Value(acc2))
+                },
+            );
+            (inner_exit, Operand::Value(acc))
+        },
+    );
+    b.free(exit, Operand::Value(buf));
+    b.free(exit, Operand::Value(table));
+    b.ret(exit, Some(Operand::Value(total)));
+    m.add_function(b.finish());
+    m
+}
+
+/// Dense matrix multiply `C = A * B` for `n x n` integer matrices.
+fn matmult(name: &str, n: i64, reps: i64) -> Module {
+    let mut m = Module::new(name);
+    let mut b = FunctionBuilder::new("main", 0);
+    let entry = b.entry_block();
+    let cells = n * n;
+    let (cur, a) = alloc_and_fill(&mut b, entry, cells, 31);
+    let (cur, bb_mat) = alloc_and_fill(&mut b, cur, cells, 37);
+    let c_mat = b.malloc(cur, Operand::Const(cells * 8));
+    let (exit, _) = counted_loop(&mut b, cur, Operand::Const(reps), |b, rep_bb, _r| {
+        let (i_exit, _) = counted_loop(b, rep_bb, Operand::Const(n), |b, i_bb, i| {
+            let (j_exit, _) = counted_loop(b, i_bb, Operand::Const(n), |b, j_bb, j| {
+                let row_base = b.binop(j_bb, BinOp::Mul, Operand::Value(i), Operand::Const(n));
+                let (k_exit, sum) = counted_loop_acc(
+                    b,
+                    j_bb,
+                    Operand::Const(n),
+                    Operand::Const(0),
+                    |b, k_bb, k, acc| {
+                        let a_idx = b.binop(k_bb, BinOp::Add, Operand::Value(row_base), Operand::Value(k));
+                        let a_slot = elem(b, k_bb, a, Operand::Value(a_idx));
+                        let av = b.load(k_bb, Operand::Value(a_slot));
+                        let b_row = b.binop(k_bb, BinOp::Mul, Operand::Value(k), Operand::Const(n));
+                        let b_idx = b.binop(k_bb, BinOp::Add, Operand::Value(b_row), Operand::Value(j));
+                        let b_slot = elem(b, k_bb, bb_mat, Operand::Value(b_idx));
+                        let bv = b.load(k_bb, Operand::Value(b_slot));
+                        let prod = b.binop(k_bb, BinOp::Mul, Operand::Value(av), Operand::Value(bv));
+                        let acc2 = b.binop(k_bb, BinOp::Add, Operand::Value(acc), Operand::Value(prod));
+                        (k_bb, Operand::Value(acc2))
+                    },
+                );
+                let c_idx = b.binop(k_exit, BinOp::Add, Operand::Value(row_base), Operand::Value(j));
+                let c_slot = elem(b, k_exit, c_mat, Operand::Value(c_idx));
+                b.store(k_exit, Operand::Value(c_slot), Operand::Value(sum));
+                k_exit
+            });
+            j_exit
+        });
+        i_exit
+    });
+    // Checksum C's diagonal.
+    let (done, check) = counted_loop_acc(
+        &mut b,
+        exit,
+        Operand::Const(n),
+        Operand::Const(0),
+        |b, bb, i, acc| {
+            let idx = b.binop(bb, BinOp::Mul, Operand::Value(i), Operand::Const(n + 1));
+            let slot = elem(b, bb, c_mat, Operand::Value(idx));
+            let v = b.load(bb, Operand::Value(slot));
+            let acc2 = b.binop(bb, BinOp::Add, Operand::Value(acc), Operand::Value(v));
+            (bb, Operand::Value(acc2))
+        },
+    );
+    b.free(done, Operand::Value(a));
+    b.free(done, Operand::Value(bb_mat));
+    b.free(done, Operand::Value(c_mat));
+    b.ret(done, Some(Operand::Value(check)));
+    m.add_function(b.finish());
+    m
+}
+
+/// Five-point stencil sweeps over an `n x n` grid, ping-ponging between two
+/// grids — the `lbm`/NAS structure whose translations all hoist to the
+/// outermost loops.
+fn grid_stencil(name: &str, n: i64, iters: i64) -> Module {
+    let mut m = Module::new(name);
+    let mut b = FunctionBuilder::new("main", 0);
+    let entry = b.entry_block();
+    let cells = n * n;
+    let (cur, src) = alloc_and_fill(&mut b, entry, cells, 101);
+    let dst = b.malloc(cur, Operand::Const(cells * 8));
+    let (exit, _) = counted_loop(&mut b, cur, Operand::Const(iters), |b, it_bb, it| {
+        // Alternate sweep direction each outer iteration so both grids are read;
+        // the grid pointers are loop-invariant inside the i/j nests, so their
+        // translations hoist here (as LLVM's LICM would place the selects).
+        let parity = b.binop(it_bb, BinOp::And, Operand::Value(it), Operand::Const(1));
+        let from = b.select(it_bb, Operand::Value(parity), Operand::Value(dst), Operand::Value(src));
+        let to = b.select(it_bb, Operand::Value(parity), Operand::Value(src), Operand::Value(dst));
+        let (i_exit, _) = counted_loop(b, it_bb, Operand::Const(n - 2), |b, i_bb, i0| {
+            let (j_exit, _) = counted_loop(b, i_bb, Operand::Const(n - 2), |b, j_bb, j0| {
+                let i = b.binop(j_bb, BinOp::Add, Operand::Value(i0), Operand::Const(1));
+                let j = b.binop(j_bb, BinOp::Add, Operand::Value(j0), Operand::Const(1));
+                let row = b.binop(j_bb, BinOp::Mul, Operand::Value(i), Operand::Const(n));
+                let center = b.binop(j_bb, BinOp::Add, Operand::Value(row), Operand::Value(j));
+                let mut sum: Option<ValueId> = None;
+                for (di, dj) in [(0i64, 0i64), (-1, 0), (1, 0), (0, -1), (0, 1)] {
+                    let off = di * n + dj;
+                    let idx = b.binop(j_bb, BinOp::Add, Operand::Value(center), Operand::Const(off));
+                    let slot = elem(b, j_bb, from, Operand::Value(idx));
+                    let v = b.load(j_bb, Operand::Value(slot));
+                    sum = Some(match sum {
+                        None => v,
+                        Some(s) => b.binop(j_bb, BinOp::Add, Operand::Value(s), Operand::Value(v)),
+                    });
+                }
+                let avg = b.binop(j_bb, BinOp::Div, Operand::Value(sum.unwrap()), Operand::Const(5));
+                let out_slot = elem(b, j_bb, to, Operand::Value(center));
+                b.store(j_bb, Operand::Value(out_slot), Operand::Value(avg));
+                j_bb
+            });
+            j_exit
+        });
+        i_exit
+    });
+    let (done, check) = counted_loop_acc(
+        &mut b,
+        exit,
+        Operand::Const(cells),
+        Operand::Const(0),
+        |b, bb, i, acc| {
+            let slot = elem(b, bb, src, Operand::Value(i));
+            let v = b.load(bb, Operand::Value(slot));
+            let acc2 = b.binop(bb, BinOp::Xor, Operand::Value(acc), Operand::Value(v));
+            (bb, Operand::Value(acc2))
+        },
+    );
+    b.free(done, Operand::Value(src));
+    b.free(done, Operand::Value(dst));
+    b.ret(done, Some(Operand::Value(check)));
+    m.add_function(b.finish());
+    m
+}
+
+// ---------------------------------------------------------------------------
+// Public wrappers (one per benchmark family)
+// ---------------------------------------------------------------------------
+
+/// Checksum/hash sweeps (aha-mont64, md5sum, nettle-sha256).
+pub fn build_checksum_kernel(s: Scale) -> Module {
+    streaming("checksum", s.n(12_000), 4, 6)
+}
+
+/// Polynomial evaluation per element (cubic).
+pub fn build_polynomial_kernel(s: Scale) -> Module {
+    streaming("cubic", s.n(8_000), 3, 10)
+}
+
+/// Dot-product style reductions (edn, st).
+pub fn build_dot_product(s: Scale) -> Module {
+    streaming("dot", s.n(16_000), 4, 2)
+}
+
+/// CRC with a 256-entry lookup table.
+pub fn build_crc32(s: Scale) -> Module {
+    table_kernel("crc32", s.n(12_000), 256, 4, false)
+}
+
+/// Block cipher / DCT style table transforms (nettle-aes, picojpeg, qrduino, xz).
+pub fn build_table_cipher(s: Scale) -> Module {
+    table_kernel("cipher", s.n(8_000), 1024, 5, false)
+}
+
+/// Petri-net / state-machine kernels (nsichneu, statemate): every lookup feeds
+/// the next.
+pub fn build_state_machine(s: Scale) -> Module {
+    table_kernel("statemach", s.n(20_000), 512, 2, true)
+}
+
+/// Integer matrix multiply (matmult-int).
+pub fn build_matmult(s: Scale) -> Module {
+    matmult("matmult", s.n(42), 1)
+}
+
+/// Small-matrix kernels run repeatedly (minver, ud).
+pub fn build_matmult_small(s: Scale) -> Module {
+    matmult("matmult_small", s.n(20), 8)
+}
+
+/// N-body force accumulation (nbody, nab).
+pub fn build_nbody(s: Scale) -> Module {
+    let n = s.n(160);
+    let steps = 6;
+    let mut m = Module::new("nbody");
+    let mut b = FunctionBuilder::new("main", 0);
+    let entry = b.entry_block();
+    let (cur, pos) = alloc_and_fill(&mut b, entry, n, 7919);
+    let (cur, vel) = alloc_and_fill(&mut b, cur, n, 104729);
+    let (exit, _) = counted_loop(&mut b, cur, Operand::Const(steps), |b, step_bb, _s| {
+        let (i_exit, _) = counted_loop(b, step_bb, Operand::Const(n), |b, i_bb, i| {
+            let pi_slot = elem(b, i_bb, pos, Operand::Value(i));
+            let pi = b.load(i_bb, Operand::Value(pi_slot));
+            let (j_exit, force) = counted_loop_acc(
+                b,
+                i_bb,
+                Operand::Const(n),
+                Operand::Const(0),
+                |b, j_bb, j, acc| {
+                    let pj_slot = elem(b, j_bb, pos, Operand::Value(j));
+                    let pj = b.load(j_bb, Operand::Value(pj_slot));
+                    let d = b.binop(j_bb, BinOp::Sub, Operand::Value(pi), Operand::Value(pj));
+                    let d2 = b.binop(j_bb, BinOp::Or, Operand::Value(d), Operand::Const(1));
+                    let contrib = b.binop(j_bb, BinOp::Rem, Operand::Const(1_000_003), Operand::Value(d2));
+                    let acc2 = b.binop(j_bb, BinOp::Add, Operand::Value(acc), Operand::Value(contrib));
+                    (j_bb, Operand::Value(acc2))
+                },
+            );
+            let v_slot = elem(b, j_exit, vel, Operand::Value(i));
+            let v = b.load(j_exit, Operand::Value(v_slot));
+            let v2 = b.binop(j_exit, BinOp::Add, Operand::Value(v), Operand::Value(force));
+            b.store(j_exit, Operand::Value(v_slot), Operand::Value(v2));
+            j_exit
+        });
+        i_exit
+    });
+    let (done, check) = counted_loop_acc(
+        &mut b,
+        exit,
+        Operand::Const(n),
+        Operand::Const(0),
+        |b, bb, i, acc| {
+            let slot = elem(b, bb, vel, Operand::Value(i));
+            let v = b.load(bb, Operand::Value(slot));
+            let acc2 = b.binop(bb, BinOp::Add, Operand::Value(acc), Operand::Value(v));
+            (bb, Operand::Value(acc2))
+        },
+    );
+    b.free(done, Operand::Value(pos));
+    b.free(done, Operand::Value(vel));
+    b.ret(done, Some(Operand::Value(check)));
+    m.add_function(b.finish());
+    m
+}
+
+/// Sieve of Eratosthenes plus a counting pass (primecount).
+pub fn build_sieve(s: Scale) -> Module {
+    let n = s.n(40_000);
+    let mut m = Module::new("sieve");
+    let mut b = FunctionBuilder::new("main", 0);
+    let entry = b.entry_block();
+    let sieve = b.malloc(entry, Operand::Const(n * 8));
+    // Clear.
+    let (cur, _) = counted_loop(&mut b, entry, Operand::Const(n), |b, bb, i| {
+        let slot = elem(b, bb, sieve, Operand::Value(i));
+        b.store(bb, Operand::Value(slot), Operand::Const(0));
+        bb
+    });
+    // Mark multiples of 2..=sqrt(n)-ish (bounded by 256).
+    let (cur, _) = counted_loop(&mut b, cur, Operand::Const(254), |b, p_bb, p0| {
+        let p = b.binop(p_bb, BinOp::Add, Operand::Value(p0), Operand::Const(2));
+        let limit = b.binop(p_bb, BinOp::Div, Operand::Const(n), Operand::Value(p));
+        let (mark_exit, _) = counted_loop(b, p_bb, Operand::Value(limit), |b, m_bb, k| {
+            let k2 = b.binop(m_bb, BinOp::Add, Operand::Value(k), Operand::Const(2));
+            let idx0 = b.binop(m_bb, BinOp::Mul, Operand::Value(p), Operand::Value(k2));
+            let idx = b.binop(m_bb, BinOp::Rem, Operand::Value(idx0), Operand::Const(n));
+            let slot = elem(b, m_bb, sieve, Operand::Value(idx));
+            b.store(m_bb, Operand::Value(slot), Operand::Const(1));
+            m_bb
+        });
+        mark_exit
+    });
+    // Count zeros.
+    let (done, count) = counted_loop_acc(
+        &mut b,
+        cur,
+        Operand::Const(n),
+        Operand::Const(0),
+        |b, bb, i, acc| {
+            let slot = elem(b, bb, sieve, Operand::Value(i));
+            let v = b.load(bb, Operand::Value(slot));
+            let is_zero = b.cmp(bb, alaska_ir::module::CmpOp::Eq, Operand::Value(v), Operand::Const(0));
+            let acc2 = b.binop(bb, BinOp::Add, Operand::Value(acc), Operand::Value(is_zero));
+            (bb, Operand::Value(acc2))
+        },
+    );
+    b.free(done, Operand::Value(sieve));
+    b.ret(done, Some(Operand::Value(count)));
+    m.add_function(b.finish());
+    m
+}
+
+/// Dense stencil sweeps (bt, ft, lu, mg, sp).
+pub fn build_grid_stencil(s: Scale) -> Module {
+    grid_stencil("stencil", s.n(72), 6)
+}
+
+/// The large-grid variant used for `lbm` (hoisted to the outermost loops).
+pub fn build_grid_stencil_large(s: Scale) -> Module {
+    grid_stencil("lbm", s.n(110), 5)
+}
+
+/// CSR sparse matrix-vector products (cg).
+pub fn build_sparse_matvec(s: Scale) -> Module {
+    let rows = s.n(2_500);
+    let nnz_per_row = 8i64;
+    let iters = 4i64;
+    let mut m = Module::new("spmv");
+    let mut b = FunctionBuilder::new("main", 0);
+    let entry = b.entry_block();
+    let nnz = rows * nnz_per_row;
+    let (cur, cols) = alloc_and_fill(&mut b, entry, nnz, 48271);
+    let (cur, vals) = alloc_and_fill(&mut b, cur, nnz, 16807);
+    let (cur, x) = alloc_and_fill(&mut b, cur, rows, 69621);
+    let y = b.malloc(cur, Operand::Const(rows * 8));
+    let (exit, _) = counted_loop(&mut b, cur, Operand::Const(iters), |b, it_bb, _it| {
+        let (r_exit, _) = counted_loop(b, it_bb, Operand::Const(rows), |b, r_bb, r| {
+            let start = b.binop(r_bb, BinOp::Mul, Operand::Value(r), Operand::Const(nnz_per_row));
+            let (k_exit, sum) = counted_loop_acc(
+                b,
+                r_bb,
+                Operand::Const(nnz_per_row),
+                Operand::Const(0),
+                |b, k_bb, k, acc| {
+                    let idx = b.binop(k_bb, BinOp::Add, Operand::Value(start), Operand::Value(k));
+                    let col_slot = elem(b, k_bb, cols, Operand::Value(idx));
+                    let col_raw = b.load(k_bb, Operand::Value(col_slot));
+                    let col = b.binop(k_bb, BinOp::Rem, Operand::Value(col_raw), Operand::Const(rows));
+                    let col_abs = b.binop(k_bb, BinOp::And, Operand::Value(col), Operand::Const(i64::MAX));
+                    let val_slot = elem(b, k_bb, vals, Operand::Value(idx));
+                    let v = b.load(k_bb, Operand::Value(val_slot));
+                    let x_slot = elem(b, k_bb, x, Operand::Value(col_abs));
+                    let xv = b.load(k_bb, Operand::Value(x_slot));
+                    let prod = b.binop(k_bb, BinOp::Mul, Operand::Value(v), Operand::Value(xv));
+                    let acc2 = b.binop(k_bb, BinOp::Add, Operand::Value(acc), Operand::Value(prod));
+                    (k_bb, Operand::Value(acc2))
+                },
+            );
+            let y_slot = elem(b, k_exit, y, Operand::Value(r));
+            b.store(k_exit, Operand::Value(y_slot), Operand::Value(sum));
+            k_exit
+        });
+        r_exit
+    });
+    let (done, check) = counted_loop_acc(
+        &mut b,
+        exit,
+        Operand::Const(rows),
+        Operand::Const(0),
+        |b, bb, i, acc| {
+            let slot = elem(b, bb, y, Operand::Value(i));
+            let v = b.load(bb, Operand::Value(slot));
+            let acc2 = b.binop(bb, BinOp::Xor, Operand::Value(acc), Operand::Value(v));
+            (bb, Operand::Value(acc2))
+        },
+    );
+    for arr in [cols, vals, x, y] {
+        b.free(done, Operand::Value(arr));
+    }
+    b.ret(done, Some(Operand::Value(check)));
+    m.add_function(b.finish());
+    m
+}
+
+/// Mostly-arithmetic Monte-Carlo style kernel with a tiny histogram (ep).
+pub fn build_embarrassingly_parallel(s: Scale) -> Module {
+    let n = s.n(120_000);
+    let mut m = Module::new("ep");
+    let mut b = FunctionBuilder::new("main", 0);
+    let entry = b.entry_block();
+    let hist = b.malloc(entry, Operand::Const(64 * 8));
+    let (cur, _) = counted_loop(&mut b, entry, Operand::Const(64), |b, bb, i| {
+        let slot = elem(b, bb, hist, Operand::Value(i));
+        b.store(bb, Operand::Value(slot), Operand::Const(0));
+        bb
+    });
+    let (exit, seed) = counted_loop_acc(
+        &mut b,
+        cur,
+        Operand::Const(n),
+        Operand::Const(88172645463325252),
+        |b, bb, _i, acc| {
+            let (next, idx) = lcg_index(b, bb, Operand::Value(acc), 64);
+            let slot = elem(b, bb, hist, Operand::Value(idx));
+            let v = b.load(bb, Operand::Value(slot));
+            let v2 = b.binop(bb, BinOp::Add, Operand::Value(v), Operand::Const(1));
+            b.store(bb, Operand::Value(slot), Operand::Value(v2));
+            (bb, Operand::Value(next))
+        },
+    );
+    let (done, check) = counted_loop_acc(
+        &mut b,
+        exit,
+        Operand::Const(64),
+        Operand::Value(seed),
+        |b, bb, i, acc| {
+            let slot = elem(b, bb, hist, Operand::Value(i));
+            let v = b.load(bb, Operand::Value(slot));
+            let acc2 = b.binop(bb, BinOp::Xor, Operand::Value(acc), Operand::Value(v));
+            (bb, Operand::Value(acc2))
+        },
+    );
+    b.free(done, Operand::Value(hist));
+    b.ret(done, Some(Operand::Value(check)));
+    m.add_function(b.finish());
+    m
+}
+
+/// Counting/bucket sort over random keys (is).
+pub fn build_bucket_sort(s: Scale) -> Module {
+    let n = s.n(25_000);
+    let buckets = 1024i64;
+    let mut m = Module::new("is");
+    let mut b = FunctionBuilder::new("main", 0);
+    let entry = b.entry_block();
+    let (cur, keys) = alloc_and_fill(&mut b, entry, n, 1103515245);
+    let counts = b.malloc(cur, Operand::Const(buckets * 8));
+    let (cur, _) = counted_loop(&mut b, cur, Operand::Const(buckets), |b, bb, i| {
+        let slot = elem(b, bb, counts, Operand::Value(i));
+        b.store(bb, Operand::Value(slot), Operand::Const(0));
+        bb
+    });
+    let (cur, _) = counted_loop(&mut b, cur, Operand::Const(n), |b, bb, i| {
+        let kslot = elem(b, bb, keys, Operand::Value(i));
+        let k = b.load(bb, Operand::Value(kslot));
+        let bucket = b.binop(bb, BinOp::And, Operand::Value(k), Operand::Const(buckets - 1));
+        let cslot = elem(b, bb, counts, Operand::Value(bucket));
+        let c = b.load(bb, Operand::Value(cslot));
+        let c2 = b.binop(bb, BinOp::Add, Operand::Value(c), Operand::Const(1));
+        b.store(bb, Operand::Value(cslot), Operand::Value(c2));
+        bb
+    });
+    let (done, check) = counted_loop_acc(
+        &mut b,
+        cur,
+        Operand::Const(buckets),
+        Operand::Const(0),
+        |b, bb, i, acc| {
+            let slot = elem(b, bb, counts, Operand::Value(i));
+            let v = b.load(bb, Operand::Value(slot));
+            let weighted = b.binop(bb, BinOp::Mul, Operand::Value(v), Operand::Value(i));
+            let acc2 = b.binop(bb, BinOp::Add, Operand::Value(acc), Operand::Value(weighted));
+            (bb, Operand::Value(acc2))
+        },
+    );
+    b.free(done, Operand::Value(keys));
+    b.free(done, Operand::Value(counts));
+    b.ret(done, Some(Operand::Value(check)));
+    m.add_function(b.finish());
+    m
+}
+
+/// Block-based SAD/encode loops over an image (x264, imagick).
+pub fn build_block_encoder(s: Scale) -> Module {
+    let dim = s.n(144);
+    let block = 8i64;
+    let mut m = Module::new("encoder");
+    let mut b = FunctionBuilder::new("main", 0);
+    let entry = b.entry_block();
+    let cells = dim * dim;
+    let (cur, frame) = alloc_and_fill(&mut b, entry, cells, 2654435761);
+    let (cur, refframe) = alloc_and_fill(&mut b, cur, cells, 334214459);
+    let blocks = dim / block;
+    let (exit, total) = counted_loop_acc(
+        &mut b,
+        cur,
+        Operand::Const(blocks),
+        Operand::Const(0),
+        |b, by_bb, by, outer| {
+            let (bx_exit, acc) = counted_loop_acc(
+                b,
+                by_bb,
+                Operand::Const(blocks),
+                Operand::Value(outer),
+                |b, bx_bb, bx, acc| {
+                    let (y_exit, sad) = counted_loop_acc(
+                        b,
+                        bx_bb,
+                        Operand::Const(block),
+                        Operand::Value(acc),
+                        |b, y_bb, y, acc| {
+                            let (x_exit, inner) = counted_loop_acc(
+                                b,
+                                y_bb,
+                                Operand::Const(block),
+                                Operand::Value(acc),
+                                |b, x_bb, x, acc| {
+                                    let gy = b.binop(x_bb, BinOp::Mul, Operand::Value(by), Operand::Const(block));
+                                    let gx = b.binop(x_bb, BinOp::Mul, Operand::Value(bx), Operand::Const(block));
+                                    let row = b.binop(x_bb, BinOp::Add, Operand::Value(gy), Operand::Value(y));
+                                    let col = b.binop(x_bb, BinOp::Add, Operand::Value(gx), Operand::Value(x));
+                                    let rbase = b.binop(x_bb, BinOp::Mul, Operand::Value(row), Operand::Const(dim));
+                                    let idx = b.binop(x_bb, BinOp::Add, Operand::Value(rbase), Operand::Value(col));
+                                    let fslot = elem(b, x_bb, frame, Operand::Value(idx));
+                                    let fv = b.load(x_bb, Operand::Value(fslot));
+                                    let rslot = elem(b, x_bb, refframe, Operand::Value(idx));
+                                    let rv = b.load(x_bb, Operand::Value(rslot));
+                                    let d = b.binop(x_bb, BinOp::Sub, Operand::Value(fv), Operand::Value(rv));
+                                    let d2 = b.binop(x_bb, BinOp::Xor, Operand::Value(d), Operand::Const(0xff));
+                                    let acc2 = b.binop(x_bb, BinOp::Add, Operand::Value(acc), Operand::Value(d2));
+                                    (x_bb, Operand::Value(acc2))
+                                },
+                            );
+                            (x_exit, Operand::Value(inner))
+                        },
+                    );
+                    (y_exit, Operand::Value(sad))
+                },
+            );
+            (bx_exit, Operand::Value(acc))
+        },
+    );
+    b.free(exit, Operand::Value(frame));
+    b.free(exit, Operand::Value(refframe));
+    b.ret(exit, Some(Operand::Value(total)));
+    m.add_function(b.finish());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alaska_compiler::pipeline::{compile_module, PipelineConfig};
+    use alaska_ir::interp::{InterpConfig, Interpreter};
+    use alaska_ir::verify::verify_module;
+    use alaska_runtime::Runtime;
+
+    fn run(m: &Module) -> u64 {
+        let rt = Runtime::with_malloc_service();
+        let mut i = Interpreter::new(m, &rt, InterpConfig::default());
+        i.run("main", &[]).unwrap().return_value.unwrap()
+    }
+
+    #[test]
+    fn array_kernels_verify_and_run_at_small_scale() {
+        let small = Scale(0.02);
+        for build in [
+            build_checksum_kernel,
+            build_crc32,
+            build_dot_product,
+            build_matmult_small,
+            build_sieve,
+            build_bucket_sort,
+            build_embarrassingly_parallel,
+        ] {
+            let m = build(small);
+            verify_module(&m).unwrap();
+            let _ = run(&m);
+        }
+    }
+
+    #[test]
+    fn stencil_and_spmv_preserve_semantics_under_alaska() {
+        let small = Scale(0.05);
+        for build in [build_grid_stencil, build_sparse_matvec, build_nbody] {
+            let m = build(small);
+            let baseline = run(&m);
+            let (alaska, _) = compile_module(&m, &PipelineConfig::full());
+            verify_module(&alaska).unwrap();
+            assert_eq!(run(&alaska), baseline);
+        }
+    }
+
+    #[test]
+    fn grid_stencil_overhead_is_small_thanks_to_hoisting() {
+        let m = build_grid_stencil(Scale(0.4));
+        let rt1 = Runtime::with_malloc_service();
+        let mut i1 = Interpreter::new(&m, &rt1, InterpConfig::default());
+        let base = i1.run("main", &[]).unwrap();
+
+        let (alaska, _) = compile_module(&m, &PipelineConfig::full());
+        let rt2 = Runtime::with_malloc_service();
+        let mut i2 = Interpreter::new(&alaska, &rt2, InterpConfig::default());
+        let transformed = i2.run("main", &[]).unwrap();
+
+        assert_eq!(base.return_value, transformed.return_value);
+        let overhead = transformed.cycles as f64 / base.cycles as f64 - 1.0;
+        assert!(
+            overhead < 0.15,
+            "stencil overhead should be small with hoisting, got {overhead:.3}"
+        );
+    }
+}

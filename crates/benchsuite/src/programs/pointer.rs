@@ -1,0 +1,503 @@
+//! Pointer-chasing kernels: linked lists, trees and pointer sorting — the
+//! `mcf`/`xalancbmk`/`sglib` end of the spectrum where the pointer being
+//! dereferenced is (re)defined inside the hot loop, so translations cannot be
+//! hoisted and Alaska pays its full per-access cost.
+
+use super::{counted_loop, counted_loop_acc, elem, lcg_index, while_nonzero_loop};
+use crate::Scale;
+use alaska_ir::module::{BasicBlockId, BinOp, CmpOp, FunctionBuilder, Module, Operand, ValueId};
+
+/// Build a singly linked list of `n` nodes (layout: `[value, next]`), returning
+/// the head.  Nodes are allocated front-to-back so traversal order is reversed
+/// allocation order — plenty of pointer chasing either way.
+fn make_list(b: &mut FunctionBuilder, cur: BasicBlockId, n: i64) -> (BasicBlockId, ValueId) {
+    let (exit, head) = counted_loop_acc(
+        b,
+        cur,
+        Operand::Const(n),
+        Operand::Const(0),
+        |b, bb, i, head| {
+            let node = b.malloc(bb, Operand::Const(16));
+            b.store(bb, Operand::Value(node), Operand::Value(i));
+            let next_slot = b.gep(bb, Operand::Value(node), Operand::Const(1), 8);
+            b.store(bb, Operand::Value(next_slot), Operand::Value(head));
+            (bb, Operand::Value(node))
+        },
+    );
+    (exit, head)
+}
+
+/// Sum the `value` fields of a list `passes` times.
+fn traverse_list(
+    b: &mut FunctionBuilder,
+    cur: BasicBlockId,
+    head: ValueId,
+    passes: i64,
+) -> (BasicBlockId, ValueId) {
+    counted_loop_acc(
+        b,
+        cur,
+        Operand::Const(passes),
+        Operand::Const(0),
+        |b, bb, _p, outer| {
+            let (exit, sum) = while_nonzero_loop(
+                b,
+                bb,
+                Operand::Value(head),
+                Operand::Value(outer),
+                |b, wb, p, acc| {
+                    let v = b.load(wb, Operand::Value(p));
+                    let next_slot = b.gep(wb, Operand::Value(p), Operand::Const(1), 8);
+                    let next = b.load(wb, Operand::Value(next_slot));
+                    let acc2 = b.binop(wb, BinOp::Add, Operand::Value(acc), Operand::Value(v));
+                    (wb, Operand::Value(next), Operand::Value(acc2))
+                },
+            );
+            (exit, Operand::Value(sum))
+        },
+    )
+}
+
+/// Linked-list library stand-in (sglib): build, traverse many times.
+pub fn build_sglib_lists(s: Scale) -> Module {
+    let n = s.n(2_000);
+    let passes = 30;
+    let mut m = Module::new("sglib");
+    let mut b = FunctionBuilder::new("main", 0);
+    let entry = b.entry_block();
+    let (cur, head) = make_list(&mut b, entry, n);
+    let (done, sum) = traverse_list(&mut b, cur, head, passes);
+    b.ret(done, Some(Operand::Value(sum)));
+    m.add_function(b.finish());
+    m
+}
+
+/// Huffman-style tree build + repeated walks (huffbench).
+pub fn build_huffman_tree(s: Scale) -> Module {
+    bst_program("huffbench", s.n(1_500), s.n(12_000))
+}
+
+/// Game-tree search stand-in (deepsjeng, leela): a larger tree, more lookups.
+pub fn build_game_tree(s: Scale) -> Module {
+    bst_program("gametree", s.n(2_500), s.n(20_000))
+}
+
+/// Binary search tree: insert `n_insert` pseudo-random keys (node layout
+/// `[key, left, right]`), then run `n_search` lookups, returning the number of
+/// hits plus a key checksum.
+fn bst_program(name: &str, n_insert: i64, n_search: i64) -> Module {
+    let mut m = Module::new(name);
+    let mut b = FunctionBuilder::new("main", 0);
+    let entry = b.entry_block();
+
+    // The root pointer lives in a one-word heap cell so insertions can update
+    // it uniformly (like a C `node **root`).
+    let root_cell = b.malloc(entry, Operand::Const(8));
+    b.store(entry, Operand::Value(root_cell), Operand::Const(0));
+
+    // Insert loop.
+    let (after_insert, _) = counted_loop_acc(
+        &mut b,
+        entry,
+        Operand::Const(n_insert),
+        Operand::Const(0x243F6A8885A308D3u64 as i64),
+        |b, bb, _i, seed| {
+            let (next_seed, key) = lcg_index(b, bb, Operand::Value(seed), 1 << 20);
+            let node = b.malloc(bb, Operand::Const(24));
+            b.store(bb, Operand::Value(node), Operand::Value(key));
+            let l = b.gep(bb, Operand::Value(node), Operand::Const(1), 8);
+            b.store(bb, Operand::Value(l), Operand::Const(0));
+            let r = b.gep(bb, Operand::Value(node), Operand::Const(2), 8);
+            b.store(bb, Operand::Value(r), Operand::Const(0));
+
+            // Walk from the root cell to the first null child slot, following
+            // key comparisons, then store the new node there.
+            let (walk_exit, slot) = while_loop_find_slot(b, bb, root_cell, key);
+            b.store(walk_exit, Operand::Value(slot), Operand::Value(node));
+            (walk_exit, Operand::Value(next_seed))
+        },
+    );
+
+    // Search loop.
+    let (done, hits) = counted_loop_acc(
+        &mut b,
+        after_insert,
+        Operand::Const(n_search),
+        Operand::Const(0),
+        |b, bb, i, acc| {
+            let seed = b.binop(bb, BinOp::Mul, Operand::Value(i), Operand::Const(0x9E3779B97F4A7C15u64 as i64));
+            let (_, key) = lcg_index(b, bb, Operand::Value(seed), 1 << 20);
+            let root = b.load(bb, Operand::Value(root_cell));
+            let (exit, found) = while_nonzero_loop(
+                b,
+                bb,
+                Operand::Value(root),
+                Operand::Const(0),
+                |b, wb, p, acc| {
+                    let k = b.load(wb, Operand::Value(p));
+                    let is_eq = b.cmp(wb, CmpOp::Eq, Operand::Value(k), Operand::Value(key));
+                    let go_left = b.cmp(wb, CmpOp::Lt, Operand::Value(key), Operand::Value(k));
+                    let lslot = b.gep(wb, Operand::Value(p), Operand::Const(1), 8);
+                    let rslot = b.gep(wb, Operand::Value(p), Operand::Const(2), 8);
+                    let lv = b.load(wb, Operand::Value(lslot));
+                    let rv = b.load(wb, Operand::Value(rslot));
+                    let child = b.select(wb, Operand::Value(go_left), Operand::Value(lv), Operand::Value(rv));
+                    // Stop when found by forcing the next pointer to null.
+                    let not_eq = b.binop(wb, BinOp::Xor, Operand::Value(is_eq), Operand::Const(1));
+                    let next = b.select(wb, Operand::Value(not_eq), Operand::Value(child), Operand::Const(0));
+                    let acc2 = b.binop(wb, BinOp::Add, Operand::Value(acc), Operand::Value(is_eq));
+                    (wb, Operand::Value(next), Operand::Value(acc2))
+                },
+            );
+            let total = b.binop(exit, BinOp::Add, Operand::Value(acc), Operand::Value(found));
+            (exit, Operand::Value(total))
+        },
+    );
+    b.ret(done, Some(Operand::Value(hits)));
+    m.add_function(b.finish());
+    m
+}
+
+/// Walk a BST from `root_cell` looking for the null child slot where `key`
+/// belongs.  Returns the block after the walk and the slot address value.
+///
+/// The loop carries the address of the current link (`node **`): it starts at
+/// the root cell and follows left/right child slots until the slot holds null.
+fn while_loop_find_slot(
+    b: &mut FunctionBuilder,
+    cur: BasicBlockId,
+    root_cell: ValueId,
+    key: ValueId,
+) -> (BasicBlockId, ValueId) {
+    let header = b.add_block("find_header");
+    let body = b.add_block("find_body");
+    let exit = b.add_block("find_exit");
+    b.br(cur, header);
+    let slot = b.phi(header);
+    b.add_phi_incoming(slot, cur, Operand::Value(root_cell));
+    let node = b.load(header, Operand::Value(slot));
+    let is_null = b.cmp(header, CmpOp::Eq, Operand::Value(node), Operand::Const(0));
+    b.cond_br(header, Operand::Value(is_null), exit, body);
+    let k = b.load(body, Operand::Value(node));
+    let go_left = b.cmp(body, CmpOp::Lt, Operand::Value(key), Operand::Value(k));
+    let lslot = b.gep(body, Operand::Value(node), Operand::Const(1), 8);
+    let rslot = b.gep(body, Operand::Value(node), Operand::Const(2), 8);
+    let next_slot = b.select(body, Operand::Value(go_left), Operand::Value(lslot), Operand::Value(rslot));
+    b.add_phi_incoming(slot, body, Operand::Value(next_slot));
+    b.br(body, header);
+    (exit, slot)
+}
+
+/// mcf-like pointer sorting: an array of pointers to heap nodes is repeatedly
+/// swept with compare-and-swap-neighbours passes; every comparison dereferences
+/// two pointers (≈4 translations per comparison in the paper's terms).
+pub fn build_pointer_sort(s: Scale) -> Module {
+    let n = s.n(2_200);
+    let passes = 10i64;
+    let mut m = Module::new("mcf");
+    let mut b = FunctionBuilder::new("main", 0);
+    let entry = b.entry_block();
+    let arr = b.malloc(entry, Operand::Const(n * 8));
+    // Populate with pointers to nodes holding pseudo-random keys.
+    let (cur, _) = counted_loop_acc(
+        &mut b,
+        entry,
+        Operand::Const(n),
+        Operand::Const(0x1234_5678),
+        |b, bb, i, seed| {
+            let (next_seed, key) = lcg_index(b, bb, Operand::Value(seed), 1 << 30);
+            let node = b.malloc(bb, Operand::Const(16));
+            b.store(bb, Operand::Value(node), Operand::Value(key));
+            let slot = elem(b, bb, arr, Operand::Value(i));
+            b.store(bb, Operand::Value(slot), Operand::Value(node));
+            (bb, Operand::Value(next_seed))
+        },
+    );
+    // Bubble passes with branchy swaps.
+    let (sorted, _) = counted_loop(&mut b, cur, Operand::Const(passes), |b, pass_bb, _p| {
+        let (i_exit, _) = counted_loop(b, pass_bb, Operand::Const(n - 1), |b, i_bb, i| {
+            let slot_a = elem(b, i_bb, arr, Operand::Value(i));
+            let ip1 = b.binop(i_bb, BinOp::Add, Operand::Value(i), Operand::Const(1));
+            let slot_b = elem(b, i_bb, arr, Operand::Value(ip1));
+            let pa = b.load(i_bb, Operand::Value(slot_a));
+            let pb = b.load(i_bb, Operand::Value(slot_b));
+            let ka = b.load(i_bb, Operand::Value(pa));
+            let kb = b.load(i_bb, Operand::Value(pb));
+            let out_of_order = b.cmp(i_bb, CmpOp::Gt, Operand::Value(ka), Operand::Value(kb));
+            let swap_bb = b.add_block("swap");
+            let merge_bb = b.add_block("merge");
+            b.cond_br(i_bb, Operand::Value(out_of_order), swap_bb, merge_bb);
+            b.store(swap_bb, Operand::Value(slot_a), Operand::Value(pb));
+            b.store(swap_bb, Operand::Value(slot_b), Operand::Value(pa));
+            b.br(swap_bb, merge_bb);
+            merge_bb
+        });
+        i_exit
+    });
+    // Checksum: sum of first 32 keys in (partially) sorted order.
+    let (done, check) = counted_loop_acc(
+        &mut b,
+        sorted,
+        Operand::Const(32.min(n)),
+        Operand::Const(0),
+        |b, bb, i, acc| {
+            let slot = elem(b, bb, arr, Operand::Value(i));
+            let p = b.load(bb, Operand::Value(slot));
+            let k = b.load(bb, Operand::Value(p));
+            let acc2 = b.binop(bb, BinOp::Add, Operand::Value(acc), Operand::Value(k));
+            (bb, Operand::Value(acc2))
+        },
+    );
+    b.free(done, Operand::Value(arr));
+    b.ret(done, Some(Operand::Value(check)));
+    m.add_function(b.finish());
+    m
+}
+
+/// DOM-tree stand-in (xalancbmk): an array of nodes with random parent links;
+/// queries repeatedly walk from a node to the root.
+pub fn build_dom_tree(s: Scale) -> Module {
+    let n = s.n(4_000);
+    let queries = s.n(12_000);
+    let mut m = Module::new("xalancbmk");
+    let mut b = FunctionBuilder::new("main", 0);
+    let entry = b.entry_block();
+    // nodes[i] points to a heap node [tag, parent_ptr].
+    let nodes = b.malloc(entry, Operand::Const(n * 8));
+    let (cur, _) = counted_loop(&mut b, entry, Operand::Const(n), |b, bb, i| {
+        let node = b.malloc(bb, Operand::Const(16));
+        b.store(bb, Operand::Value(node), Operand::Value(i));
+        let slot = elem(b, bb, nodes, Operand::Value(i));
+        b.store(bb, Operand::Value(slot), Operand::Value(node));
+        bb
+    });
+    // Link each node to a parent with a smaller index (node 0 stays the root).
+    let (cur, _) = counted_loop(&mut b, cur, Operand::Const(n - 1), |b, bb, i0| {
+        let i = b.binop(bb, BinOp::Add, Operand::Value(i0), Operand::Const(1));
+        let parent_idx = b.binop(bb, BinOp::Div, Operand::Value(i), Operand::Const(3));
+        let child_slot = elem(b, bb, nodes, Operand::Value(i));
+        let child = b.load(bb, Operand::Value(child_slot));
+        let parent_slot = elem(b, bb, nodes, Operand::Value(parent_idx));
+        let parent = b.load(bb, Operand::Value(parent_slot));
+        let link = b.gep(bb, Operand::Value(child), Operand::Const(1), 8);
+        b.store(bb, Operand::Value(link), Operand::Value(parent));
+        bb
+    });
+    // Queries: walk to the root, summing tags.
+    let (done, total) = counted_loop_acc(
+        &mut b,
+        cur,
+        Operand::Const(queries),
+        Operand::Const(0),
+        |b, bb, q, acc| {
+            let start_idx = b.binop(bb, BinOp::Rem, Operand::Value(q), Operand::Const(n));
+            let slot = elem(b, bb, nodes, Operand::Value(start_idx));
+            let start = b.load(bb, Operand::Value(slot));
+            let (exit, walked) = while_nonzero_loop(
+                b,
+                bb,
+                Operand::Value(start),
+                Operand::Value(acc),
+                |b, wb, p, acc| {
+                    let tag = b.load(wb, Operand::Value(p));
+                    let parent_slot = b.gep(wb, Operand::Value(p), Operand::Const(1), 8);
+                    let parent = b.load(wb, Operand::Value(parent_slot));
+                    let acc2 = b.binop(wb, BinOp::Add, Operand::Value(acc), Operand::Value(tag));
+                    (wb, Operand::Value(parent), Operand::Value(acc2))
+                },
+            );
+            (exit, Operand::Value(walked))
+        },
+    );
+    b.free(done, Operand::Value(nodes));
+    b.ret(done, Some(Operand::Value(total)));
+    m.add_function(b.finish());
+    m
+}
+
+/// Compiler-IR walker stand-in (gcc): a linked list of "instructions", each
+/// with an operand pointer to another instruction; passes dereference both.
+pub fn build_ir_walker(s: Scale) -> Module {
+    let n = s.n(3_000);
+    let passes = 12i64;
+    let mut m = Module::new("gcc");
+    let mut b = FunctionBuilder::new("main", 0);
+    let entry = b.entry_block();
+    // Node layout: [opcode, operand_ptr, next].
+    let (cur, head) = counted_loop_acc(
+        &mut b,
+        entry,
+        Operand::Const(n),
+        Operand::Const(0),
+        |b, bb, i, head| {
+            let node = b.malloc(bb, Operand::Const(24));
+            b.store(bb, Operand::Value(node), Operand::Value(i));
+            let op_slot = b.gep(bb, Operand::Value(node), Operand::Const(1), 8);
+            // Operand points at the previous head (or null for the first node).
+            b.store(bb, Operand::Value(op_slot), Operand::Value(head));
+            let next_slot = b.gep(bb, Operand::Value(node), Operand::Const(2), 8);
+            b.store(bb, Operand::Value(next_slot), Operand::Value(head));
+            (bb, Operand::Value(node))
+        },
+    );
+    let (done, total) = counted_loop_acc(
+        &mut b,
+        cur,
+        Operand::Const(passes),
+        Operand::Const(0),
+        |b, bb, _p, outer| {
+            let (exit, sum) = while_nonzero_loop(
+                b,
+                bb,
+                Operand::Value(head),
+                Operand::Value(outer),
+                |b, wb, p, acc| {
+                    let opcode = b.load(wb, Operand::Value(p));
+                    let op_slot = b.gep(wb, Operand::Value(p), Operand::Const(1), 8);
+                    let operand = b.load(wb, Operand::Value(op_slot));
+                    // Dereference the operand's opcode when present.
+                    let has_op = b.cmp(wb, CmpOp::Ne, Operand::Value(operand), Operand::Const(0));
+                    let deref_bb = b.add_block("deref");
+                    let merge_bb = b.add_block("merge");
+                    b.cond_br(wb, Operand::Value(has_op), deref_bb, merge_bb);
+                    let op_opcode = b.load(deref_bb, Operand::Value(operand));
+                    b.br(deref_bb, merge_bb);
+                    let contrib = b.phi(merge_bb);
+                    b.add_phi_incoming(contrib, wb, Operand::Const(0));
+                    b.add_phi_incoming(contrib, deref_bb, Operand::Value(op_opcode));
+                    let with_op = b.binop(merge_bb, BinOp::Add, Operand::Value(acc), Operand::Value(contrib));
+                    let acc2 = b.binop(merge_bb, BinOp::Add, Operand::Value(with_op), Operand::Value(opcode));
+                    let next_slot = b.gep(merge_bb, Operand::Value(p), Operand::Const(2), 8);
+                    let next = b.load(merge_bb, Operand::Value(next_slot));
+                    (merge_bb, Operand::Value(next), Operand::Value(acc2))
+                },
+            );
+            (exit, Operand::Value(sum))
+        },
+    );
+    b.ret(done, Some(Operand::Value(total)));
+    m.add_function(b.finish());
+    m
+}
+
+/// In-place sort of a value array with repeated sweeps (wikisort): array-based,
+/// so the base pointer hoists and the overhead stays moderate.
+pub fn build_merge_sort(s: Scale) -> Module {
+    let n = s.n(4_000);
+    let passes = 16i64;
+    let mut m = Module::new("wikisort");
+    let mut b = FunctionBuilder::new("main", 0);
+    let entry = b.entry_block();
+    let arr = b.malloc(entry, Operand::Const(n * 8));
+    let (cur, _) = counted_loop_acc(
+        &mut b,
+        entry,
+        Operand::Const(n),
+        Operand::Const(777),
+        |b, bb, i, seed| {
+            let (next, key) = lcg_index(b, bb, Operand::Value(seed), 1 << 24);
+            let slot = elem(b, bb, arr, Operand::Value(i));
+            b.store(bb, Operand::Value(slot), Operand::Value(key));
+            (bb, Operand::Value(next))
+        },
+    );
+    let (sorted, _) = counted_loop(&mut b, cur, Operand::Const(passes), |b, pass_bb, _p| {
+        let (i_exit, _) = counted_loop(b, pass_bb, Operand::Const(n - 1), |b, i_bb, i| {
+            let slot_a = elem(b, i_bb, arr, Operand::Value(i));
+            let ip1 = b.binop(i_bb, BinOp::Add, Operand::Value(i), Operand::Const(1));
+            let slot_b = elem(b, i_bb, arr, Operand::Value(ip1));
+            let a = b.load(i_bb, Operand::Value(slot_a));
+            let c = b.load(i_bb, Operand::Value(slot_b));
+            let cmp = b.cmp(i_bb, CmpOp::Le, Operand::Value(a), Operand::Value(c));
+            let lo = b.select(i_bb, Operand::Value(cmp), Operand::Value(a), Operand::Value(c));
+            let sum = b.binop(i_bb, BinOp::Add, Operand::Value(a), Operand::Value(c));
+            let hi = b.binop(i_bb, BinOp::Sub, Operand::Value(sum), Operand::Value(lo));
+            b.store(i_bb, Operand::Value(slot_a), Operand::Value(lo));
+            b.store(i_bb, Operand::Value(slot_b), Operand::Value(hi));
+            i_bb
+        });
+        i_exit
+    });
+    let (done, check) = counted_loop_acc(
+        &mut b,
+        sorted,
+        Operand::Const(n),
+        Operand::Const(0),
+        |b, bb, i, acc| {
+            let slot = elem(b, bb, arr, Operand::Value(i));
+            let v = b.load(bb, Operand::Value(slot));
+            let weighted = b.binop(bb, BinOp::Mul, Operand::Value(v), Operand::Value(i));
+            let acc2 = b.binop(bb, BinOp::Xor, Operand::Value(acc), Operand::Value(weighted));
+            (bb, Operand::Value(acc2))
+        },
+    );
+    b.free(done, Operand::Value(arr));
+    b.ret(done, Some(Operand::Value(check)));
+    m.add_function(b.finish());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alaska_compiler::pipeline::{compile_module, PipelineConfig};
+    use alaska_ir::interp::{InterpConfig, Interpreter};
+    use alaska_ir::verify::verify_module;
+    use alaska_runtime::Runtime;
+
+    fn run(m: &Module) -> u64 {
+        let rt = Runtime::with_malloc_service();
+        let mut i = Interpreter::new(m, &rt, InterpConfig::default());
+        i.run("main", &[]).unwrap().return_value.unwrap()
+    }
+
+    #[test]
+    fn pointer_kernels_verify_and_preserve_semantics_under_alaska() {
+        let small = Scale(0.02);
+        for build in [
+            build_sglib_lists,
+            build_pointer_sort,
+            build_dom_tree,
+            build_ir_walker,
+            build_merge_sort,
+            build_huffman_tree,
+        ] {
+            let m = build(small);
+            verify_module(&m).unwrap();
+            let baseline = run(&m);
+            let (alaska, _) = compile_module(&m, &PipelineConfig::full());
+            verify_module(&alaska).unwrap();
+            assert_eq!(run(&alaska), baseline, "{} changed semantics", m.name);
+        }
+    }
+
+    #[test]
+    fn list_traversal_pays_per_iteration_translation_cost() {
+        let m = build_sglib_lists(Scale(0.05));
+        let rt1 = Runtime::with_malloc_service();
+        let mut i1 = Interpreter::new(&m, &rt1, InterpConfig::default());
+        let base = i1.run("main", &[]).unwrap();
+
+        let (alaska, _) = compile_module(&m, &PipelineConfig::full());
+        let rt2 = Runtime::with_malloc_service();
+        let mut i2 = Interpreter::new(&alaska, &rt2, InterpConfig::default());
+        let transformed = i2.run("main", &[]).unwrap();
+
+        let overhead = transformed.cycles as f64 / base.cycles as f64 - 1.0;
+        assert!(
+            overhead > 0.05,
+            "pointer chasing should show clear translation overhead, got {overhead:.3}"
+        );
+        assert!(transformed.dynamic.translations > 0);
+    }
+
+    #[test]
+    fn bst_search_finds_inserted_keys() {
+        // At a tiny scale the search keys rarely match, but the program must at
+        // least terminate and return deterministically.
+        let m = bst_program("t", 200, 400);
+        let a = run(&m);
+        let b = run(&m);
+        assert_eq!(a, b, "deterministic result");
+    }
+}

@@ -1,0 +1,191 @@
+//! String and hash-table kernels that exercise the external-call (escape
+//! handling) path and `perlbench`-style associative workloads.
+
+use super::{counted_loop, counted_loop_acc, elem, lcg_index, while_nonzero_loop};
+use crate::Scale;
+use alaska_ir::module::{BinOp, CmpOp, FunctionBuilder, Module, Operand};
+
+/// Pack eight ASCII bytes into a little-endian `u64` word.
+fn pack(word: &[u8; 8]) -> i64 {
+    i64::from_le_bytes(*word)
+}
+
+/// Regex/search kernels (slre, tarfind): a heap-allocated haystack is scanned
+/// repeatedly with the external `strstr`/`strlen`, so every call goes through
+/// escape handling (translate + pin before the call).
+pub fn build_string_match(s: Scale) -> Module {
+    let words = s.n(600); // haystack length in 8-byte words
+    let iters = s.n(160);
+    let mut m = Module::new("slre");
+    let mut b = FunctionBuilder::new("main", 0);
+    let entry = b.entry_block();
+
+    // Haystack: `words` words of 'aaaaaaaa', a needle planted near the end,
+    // then a NUL terminator word.
+    let hay = b.malloc(entry, Operand::Const((words + 2) * 8));
+    let (cur, _) = counted_loop(&mut b, entry, Operand::Const(words), |b, bb, i| {
+        let slot = elem(b, bb, hay, Operand::Value(i));
+        b.store(bb, Operand::Value(slot), Operand::Const(pack(b"aaaaaaaa")));
+        bb
+    });
+    let needle_pos = words - 1;
+    let slot = elem(&mut b, cur, hay, Operand::Const(needle_pos));
+    b.store(cur, Operand::Value(slot), Operand::Const(pack(b"needle!!")));
+    let term = elem(&mut b, cur, hay, Operand::Const(words));
+    b.store(cur, Operand::Value(term), Operand::Const(0));
+
+    // Needle string: "needle!!\0".
+    let needle = b.malloc(cur, Operand::Const(16));
+    b.store(cur, Operand::Value(needle), Operand::Const(pack(b"needle!!")));
+    let nt = elem(&mut b, cur, needle, Operand::Const(1));
+    b.store(cur, Operand::Value(nt), Operand::Const(0));
+
+    // Search repeatedly; accumulate the offsets where the needle was found.
+    let (done, total) = counted_loop_acc(
+        &mut b,
+        cur,
+        Operand::Const(iters),
+        Operand::Const(0),
+        |b, bb, _i, acc| {
+            let hit = b.call_external(bb, "strstr", vec![Operand::Value(hay), Operand::Value(needle)]);
+            let len = b.call_external(bb, "strlen", vec![Operand::Value(needle)]);
+            let hay_len = b.call_external(bb, "strlen", vec![Operand::Value(hay)]);
+            let found = b.cmp(bb, CmpOp::Ne, Operand::Value(hit), Operand::Const(0));
+            let contrib = b.binop(bb, BinOp::Add, Operand::Value(len), Operand::Value(found));
+            let mixed = b.binop(bb, BinOp::Add, Operand::Value(contrib), Operand::Value(hay_len));
+            let acc2 = b.binop(bb, BinOp::Add, Operand::Value(acc), Operand::Value(mixed));
+            (bb, Operand::Value(acc2))
+        },
+    );
+    b.free(done, Operand::Value(hay));
+    b.free(done, Operand::Value(needle));
+    b.ret(done, Some(Operand::Value(total)));
+    m.add_function(b.finish());
+    m
+}
+
+/// perlbench-style hash/interpreter workload: a chained hash table of
+/// heap-allocated entries (`[key, value, next]`), filled and then probed.
+/// Chain walking is pointer chasing; bucket lookup is array indexing.
+pub fn build_hash_interpreter(s: Scale) -> Module {
+    let buckets = 512i64;
+    let inserts = s.n(2_500);
+    let lookups = s.n(7_500);
+    let mut m = Module::new("perlbench");
+    let mut b = FunctionBuilder::new("main", 0);
+    let entry = b.entry_block();
+
+    // Bucket array, cleared to null.
+    let table = b.malloc(entry, Operand::Const(buckets * 8));
+    let (cur, _) = counted_loop(&mut b, entry, Operand::Const(buckets), |b, bb, i| {
+        let slot = elem(b, bb, table, Operand::Value(i));
+        b.store(bb, Operand::Value(slot), Operand::Const(0));
+        bb
+    });
+
+    // Insert phase: push-front into the bucket's chain.
+    let (cur, _) = counted_loop_acc(
+        &mut b,
+        cur,
+        Operand::Const(inserts),
+        Operand::Const(0x5EED_BA5E),
+        |b, bb, i, seed| {
+            let (next_seed, key) = lcg_index(b, bb, Operand::Value(seed), 1 << 24);
+            let bucket = b.binop(bb, BinOp::And, Operand::Value(key), Operand::Const(buckets - 1));
+            let head_slot = elem(b, bb, table, Operand::Value(bucket));
+            let head = b.load(bb, Operand::Value(head_slot));
+            let node = b.malloc(bb, Operand::Const(24));
+            b.store(bb, Operand::Value(node), Operand::Value(key));
+            let val_slot = b.gep(bb, Operand::Value(node), Operand::Const(1), 8);
+            b.store(bb, Operand::Value(val_slot), Operand::Value(i));
+            let next_slot = b.gep(bb, Operand::Value(node), Operand::Const(2), 8);
+            b.store(bb, Operand::Value(next_slot), Operand::Value(head));
+            b.store(bb, Operand::Value(head_slot), Operand::Value(node));
+            (bb, Operand::Value(next_seed))
+        },
+    );
+
+    // Lookup phase: walk the chain comparing keys, accumulate matched values.
+    let (done, total) = counted_loop_acc(
+        &mut b,
+        cur,
+        Operand::Const(lookups),
+        Operand::Const(0),
+        |b, bb, q, acc| {
+            let seed = b.binop(bb, BinOp::Mul, Operand::Value(q), Operand::Const(0x2545F4914F6CDD1D_u64 as i64));
+            let (_, key) = lcg_index(b, bb, Operand::Value(seed), 1 << 24);
+            let bucket = b.binop(bb, BinOp::And, Operand::Value(key), Operand::Const(buckets - 1));
+            let head_slot = elem(b, bb, table, Operand::Value(bucket));
+            let head = b.load(bb, Operand::Value(head_slot));
+            let (exit, walked) = while_nonzero_loop(
+                b,
+                bb,
+                Operand::Value(head),
+                Operand::Value(acc),
+                |b, wb, p, acc| {
+                    let k = b.load(wb, Operand::Value(p));
+                    let matches = b.cmp(wb, CmpOp::Eq, Operand::Value(k), Operand::Value(key));
+                    let val_slot = b.gep(wb, Operand::Value(p), Operand::Const(1), 8);
+                    let v = b.load(wb, Operand::Value(val_slot));
+                    let contrib = b.select(wb, Operand::Value(matches), Operand::Value(v), Operand::Const(0));
+                    let acc2 = b.binop(wb, BinOp::Add, Operand::Value(acc), Operand::Value(contrib));
+                    let next_slot = b.gep(wb, Operand::Value(p), Operand::Const(2), 8);
+                    let next = b.load(wb, Operand::Value(next_slot));
+                    (wb, Operand::Value(next), Operand::Value(acc2))
+                },
+            );
+            (exit, Operand::Value(walked))
+        },
+    );
+    b.free(done, Operand::Value(table));
+    b.ret(done, Some(Operand::Value(total)));
+    m.add_function(b.finish());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alaska_compiler::pipeline::{compile_module, PipelineConfig};
+    use alaska_ir::interp::{InterpConfig, Interpreter};
+    use alaska_ir::verify::verify_module;
+    use alaska_runtime::Runtime;
+
+    fn run(m: &Module) -> u64 {
+        let rt = Runtime::with_malloc_service();
+        let mut i = Interpreter::new(m, &rt, InterpConfig::default());
+        i.run("main", &[]).unwrap().return_value.unwrap()
+    }
+
+    #[test]
+    fn string_match_requires_escape_handling_to_work_under_alaska() {
+        let m = build_string_match(Scale(0.05));
+        verify_module(&m).unwrap();
+        let baseline = run(&m);
+        assert!(baseline > 0, "the needle must be found");
+
+        // With escape handling the transformed program behaves identically.
+        let (alaska, report) = compile_module(&m, &PipelineConfig::full());
+        assert!(report.functions.iter().any(|f| f.escaped_arguments > 0));
+        assert_eq!(run(&alaska), baseline);
+
+        // Without escape handling, handles leak into external code and the
+        // interpreter reports the hazard the paper describes for `strstr`.
+        let cfg = PipelineConfig { escape_handling: false, ..PipelineConfig::full() };
+        let (broken, _) = compile_module(&m, &cfg);
+        let rt = Runtime::with_malloc_service();
+        let mut interp = Interpreter::new(&broken, &rt, InterpConfig::default());
+        assert!(interp.run("main", &[]).is_err());
+    }
+
+    #[test]
+    fn hash_interpreter_finds_inserted_values_deterministically() {
+        let m = build_hash_interpreter(Scale(0.04));
+        verify_module(&m).unwrap();
+        let a = run(&m);
+        let b = run(&m);
+        assert_eq!(a, b);
+        let (alaska, _) = compile_module(&m, &PipelineConfig::full());
+        assert_eq!(run(&alaska), a);
+    }
+}

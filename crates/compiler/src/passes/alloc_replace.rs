@@ -1,0 +1,64 @@
+//! Allocation replacement (paper §4.1.1): rewrite `malloc`/`free` (and, in a
+//! fuller front end, `calloc`/`realloc` proxies) into their handle-returning
+//! Alaska counterparts `halloc`/`hfree`.
+//!
+//! The replacement happens in the compiler rather than the linker so only code
+//! visible to Alaska starts producing handles; in our reproduction everything
+//! in the module is visible, matching the evaluation's "force handles on all
+//! allocations through malloc".
+
+use alaska_ir::module::{Function, Instruction};
+
+/// Rewrite every `Malloc` into `Halloc` and every `Free` into `Hfree`.
+/// Returns the number of call sites replaced.
+pub fn replace_allocations(f: &mut Function) -> usize {
+    let mut replaced = 0;
+    for inst in &mut f.insts {
+        match inst {
+            Instruction::Malloc { size } => {
+                *inst = Instruction::Halloc { size: *size };
+                replaced += 1;
+            }
+            Instruction::Free { ptr } => {
+                *inst = Instruction::Hfree { ptr: *ptr };
+                replaced += 1;
+            }
+            _ => {}
+        }
+    }
+    replaced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alaska_ir::module::{FunctionBuilder, Operand};
+    use alaska_ir::verify::verify_function;
+
+    #[test]
+    fn malloc_and_free_are_rewritten() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let e = b.entry_block();
+        let p = b.malloc(e, Operand::Const(32));
+        b.free(e, Operand::Value(p));
+        b.ret(e, None);
+        let mut f = b.finish();
+        let n = replace_allocations(&mut f);
+        assert_eq!(n, 2);
+        assert!(matches!(f.inst(p), Instruction::Halloc { .. }));
+        assert!(f.insts.iter().any(|i| matches!(i, Instruction::Hfree { .. })));
+        assert!(!f.insts.iter().any(|i| matches!(i, Instruction::Malloc { .. } | Instruction::Free { .. })));
+        assert!(verify_function(&f).is_ok());
+    }
+
+    #[test]
+    fn functions_without_allocations_are_untouched() {
+        let mut b = FunctionBuilder::new("g", 1);
+        let e = b.entry_block();
+        b.ret(e, Some(Operand::Param(0)));
+        let mut f = b.finish();
+        let before = f.clone();
+        assert_eq!(replace_allocations(&mut f), 0);
+        assert_eq!(f, before);
+    }
+}

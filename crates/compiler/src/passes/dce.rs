@@ -1,0 +1,112 @@
+//! Dead-code elimination.
+//!
+//! The translation-insertion pass mirrors address arithmetic onto translated
+//! pointers ("shadow" geps), which leaves the original, now-unused address
+//! computations behind.  A real LLVM pipeline would clean these up with its
+//! standard DCE/instcombine passes after the Alaska transformation (the
+//! evaluation applies `-O3`-style cleanups after the Alaska passes, §5.1); this
+//! pass plays that role: it iteratively removes side-effect-free instructions
+//! whose results are never used.
+
+use alaska_ir::module::{Function, Instruction, Operand, ValueId};
+use std::collections::HashSet;
+
+/// Whether an instruction can be removed when its result is unused.
+fn is_pure(inst: &Instruction) -> bool {
+    matches!(
+        inst,
+        Instruction::Bin { .. }
+            | Instruction::Cmp { .. }
+            | Instruction::Select { .. }
+            | Instruction::Gep { .. }
+            | Instruction::Phi { .. }
+    )
+}
+
+/// Remove unused pure instructions.  Returns the number removed.
+pub fn eliminate_dead_code(f: &mut Function) -> usize {
+    let mut removed_total = 0;
+    loop {
+        // Collect all used value ids (instruction operands + terminators).
+        let mut used: HashSet<ValueId> = HashSet::new();
+        for bb in f.block_ids() {
+            for &v in &f.block(bb).insts {
+                for op in f.inst(v).operands() {
+                    if let Operand::Value(u) = op {
+                        used.insert(u);
+                    }
+                }
+            }
+            if let Some(t) = &f.block(bb).terminator {
+                for op in t.operands() {
+                    if let Operand::Value(u) = op {
+                        used.insert(u);
+                    }
+                }
+            }
+        }
+        let mut removed_this_round = 0;
+        for bb in f.block_ids().collect::<Vec<_>>() {
+            let dead: Vec<ValueId> = f
+                .block(bb)
+                .insts
+                .iter()
+                .copied()
+                .filter(|&v| is_pure(f.inst(v)) && !used.contains(&v))
+                .collect();
+            if !dead.is_empty() {
+                removed_this_round += dead.len();
+                let keep: Vec<ValueId> = f
+                    .block(bb)
+                    .insts
+                    .iter()
+                    .copied()
+                    .filter(|v| !dead.contains(v))
+                    .collect();
+                f.block_mut(bb).insts = keep;
+            }
+        }
+        removed_total += removed_this_round;
+        if removed_this_round == 0 {
+            break;
+        }
+    }
+    removed_total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alaska_ir::module::{BinOp, FunctionBuilder, Operand};
+    use alaska_ir::verify::verify_function;
+
+    #[test]
+    fn unused_arithmetic_is_removed_transitively() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let e = b.entry_block();
+        let dead1 = b.binop(e, BinOp::Add, Operand::Param(0), Operand::Const(1));
+        let _dead2 = b.binop(e, BinOp::Mul, Operand::Value(dead1), Operand::Const(2));
+        let live = b.binop(e, BinOp::Sub, Operand::Param(0), Operand::Const(3));
+        b.ret(e, Some(Operand::Value(live)));
+        let mut f = b.finish();
+        let removed = eliminate_dead_code(&mut f);
+        assert_eq!(removed, 2);
+        assert_eq!(f.block(e).insts.len(), 1);
+        assert!(verify_function(&f).is_ok());
+    }
+
+    #[test]
+    fn stores_loads_and_calls_are_never_removed() {
+        let mut b = FunctionBuilder::new("g", 1);
+        let e = b.entry_block();
+        let p = b.malloc(e, Operand::Const(8));
+        b.store(e, Operand::Value(p), Operand::Const(1));
+        let _unused_load = b.load(e, Operand::Value(p));
+        b.call_external(e, "puts", vec![Operand::Const(0)]);
+        b.ret(e, None);
+        let mut f = b.finish();
+        let before = f.block(e).insts.len();
+        assert_eq!(eliminate_dead_code(&mut f), 0);
+        assert_eq!(f.block(e).insts.len(), before);
+    }
+}

@@ -1,0 +1,146 @@
+//! Escape handling for external functions (paper §4.1.4).
+//!
+//! Precompiled code (the libc model in the interpreter) knows nothing about
+//! handles.  Whenever a value that may be a handle is passed to an external
+//! function, the compiler inserts a translation immediately before the call and
+//! passes the resulting raw pointer instead, which both makes the foreign code
+//! work and pins the object for the duration of the call (the translation's
+//! pin-set slot is still live across it).
+//!
+//! Values that cannot be pointers (arithmetic results, constants) are left
+//! untouched; the dynamic handle check would pass them through anyway, but
+//! skipping them keeps the transformed code tight.
+
+use alaska_ir::module::{Function, Instruction, Operand};
+
+/// Result of the escape-handling pass for one function.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EscapeStats {
+    /// External-call arguments wrapped in a translation.
+    pub escaped_arguments: usize,
+    /// External calls that had at least one escaping argument.
+    pub calls_with_escapes: usize,
+}
+
+/// Whether `op` may carry a handle and therefore must be translated before
+/// escaping to external code.
+fn may_be_handle(f: &Function, op: Operand) -> bool {
+    match op {
+        Operand::Const(_) => false,
+        Operand::Param(_) => true,
+        Operand::Value(v) => matches!(
+            f.inst(v),
+            Instruction::Halloc { .. }
+                | Instruction::Malloc { .. }
+                | Instruction::Gep { .. }
+                | Instruction::Phi { .. }
+                | Instruction::Load { .. }
+                | Instruction::Call { .. }
+                | Instruction::Select { .. }
+        ),
+    }
+}
+
+/// Insert translations for handle arguments of external calls.
+pub fn handle_escapes(f: &mut Function) -> EscapeStats {
+    let mut stats = EscapeStats::default();
+    for bb in f.block_ids().collect::<Vec<_>>() {
+        let mut idx = 0;
+        while idx < f.block(bb).insts.len() {
+            let call = f.block(bb).insts[idx];
+            let escaping: Vec<(usize, Operand)> = match f.inst(call) {
+                Instruction::CallExternal { args, .. } => args
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &a)| may_be_handle(f, a))
+                    .map(|(i, &a)| (i, a))
+                    .collect(),
+                _ => {
+                    idx += 1;
+                    continue;
+                }
+            };
+            if escaping.is_empty() {
+                idx += 1;
+                continue;
+            }
+            stats.calls_with_escapes += 1;
+            let mut inserted = 0usize;
+            for (arg_idx, value) in escaping {
+                let t = f.add_inst(Instruction::Translate { value, slot: None });
+                f.insert_in_block(bb, idx + inserted, t);
+                inserted += 1;
+                if let Instruction::CallExternal { args, .. } = f.inst_mut(call) {
+                    args[arg_idx] = Operand::Value(t);
+                }
+                stats.escaped_arguments += 1;
+            }
+            idx += inserted + 1;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alaska_ir::module::{BinOp, FunctionBuilder};
+    use alaska_ir::verify::verify_function;
+
+    #[test]
+    fn handle_arguments_are_translated_before_the_call() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let e = b.entry_block();
+        let p = b.malloc(e, Operand::Const(64));
+        b.call_external(e, "strlen", vec![Operand::Value(p)]);
+        b.ret(e, None);
+        let mut f = b.finish();
+        crate::passes::alloc_replace::replace_allocations(&mut f);
+        let stats = handle_escapes(&mut f);
+        assert_eq!(stats.escaped_arguments, 1);
+        assert_eq!(stats.calls_with_escapes, 1);
+        assert!(verify_function(&f).is_ok());
+        // The call's argument must now be a translation result.
+        let call = f
+            .block_ids()
+            .flat_map(|bb| f.block(bb).insts.clone())
+            .find(|&v| matches!(f.inst(v), Instruction::CallExternal { .. }))
+            .unwrap();
+        if let Instruction::CallExternal { args, .. } = f.inst(call) {
+            if let Operand::Value(t) = args[0] {
+                assert!(matches!(f.inst(t), Instruction::Translate { .. }));
+            } else {
+                panic!("argument was not rewritten");
+            }
+        }
+    }
+
+    #[test]
+    fn integer_arguments_are_left_alone() {
+        let mut b = FunctionBuilder::new("g", 0);
+        let e = b.entry_block();
+        let n = b.binop(e, BinOp::Add, Operand::Const(1), Operand::Const(2));
+        b.call_external(e, "abs", vec![Operand::Value(n), Operand::Const(7)]);
+        b.ret(e, None);
+        let mut f = b.finish();
+        let stats = handle_escapes(&mut f);
+        assert_eq!(stats.escaped_arguments, 0);
+        assert_eq!(stats.calls_with_escapes, 0);
+    }
+
+    #[test]
+    fn multiple_pointer_arguments_each_get_a_translation() {
+        let mut b = FunctionBuilder::new("h", 2);
+        let e = b.entry_block();
+        b.call_external(
+            e,
+            "memcpy",
+            vec![Operand::Param(0), Operand::Param(1), Operand::Const(16)],
+        );
+        b.ret(e, None);
+        let mut f = b.finish();
+        let stats = handle_escapes(&mut f);
+        assert_eq!(stats.escaped_arguments, 2);
+        assert!(verify_function(&f).is_ok());
+    }
+}

@@ -1,0 +1,9 @@
+//! Individual compiler passes.  See the crate documentation for how they
+//! compose into the Alaska pipeline.
+
+pub mod alloc_replace;
+pub mod dce;
+pub mod escape;
+pub mod safepoints;
+pub mod tracking;
+pub mod translate_insert;

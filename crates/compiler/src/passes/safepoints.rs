@@ -1,0 +1,159 @@
+//! Safepoint insertion (paper §4.1.3).
+//!
+//! The runtime's stop-the-world barrier needs every thread to reach a point
+//! where its pin sets are parseable.  The compiler therefore inserts polls:
+//!
+//! * at the function entry,
+//! * on loop back-edges (in the latch block, just before the branch back to the
+//!   header), so long-running loops cannot delay a barrier indefinitely,
+//! * immediately before calls to external functions, since no poll can happen
+//!   inside foreign code.
+//!
+//! In the paper's prototype the poll compiles to a NOP patch point that a
+//! barrier rewrites to `UD2`; here it compiles to a
+//! [`Safepoint`](alaska_ir::module::Instruction::Safepoint) instruction whose
+//! fast path is a single flag check in the runtime.
+
+use alaska_ir::cfg::Cfg;
+use alaska_ir::dom::DominatorTree;
+use alaska_ir::loops::LoopForest;
+use alaska_ir::module::{Function, Instruction};
+
+/// Result of safepoint insertion for one function.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SafepointStats {
+    /// Poll inserted at the function entry.
+    pub at_entry: usize,
+    /// Polls inserted on loop back-edges.
+    pub at_back_edges: usize,
+    /// Polls inserted before external calls.
+    pub before_external_calls: usize,
+}
+
+impl SafepointStats {
+    /// Total polls inserted.
+    pub fn total(&self) -> usize {
+        self.at_entry + self.at_back_edges + self.before_external_calls
+    }
+}
+
+/// Insert safepoint polls into `f`.
+pub fn insert_safepoints(f: &mut Function) -> SafepointStats {
+    let mut stats = SafepointStats::default();
+
+    // Function entry (after any phis — the entry has none, but stay defensive).
+    let entry = f.entry;
+    let sp = f.add_inst(Instruction::Safepoint);
+    let pos = f
+        .block(entry)
+        .insts
+        .iter()
+        .take_while(|&&v| matches!(f.inst(v), Instruction::Phi { .. }))
+        .count();
+    f.insert_in_block(entry, pos, sp);
+    stats.at_entry = 1;
+
+    // Loop back-edges: poll in each latch block, right before its terminator.
+    let cfg = Cfg::build(f);
+    let dt = DominatorTree::build(f, &cfg);
+    let loops = LoopForest::build(f, &cfg, &dt);
+    let mut latches: Vec<_> = loops.back_edges.iter().map(|&(latch, _)| latch).collect();
+    latches.sort();
+    latches.dedup();
+    for latch in latches {
+        let sp = f.add_inst(Instruction::Safepoint);
+        let end = f.block(latch).insts.len();
+        f.insert_in_block(latch, end, sp);
+        stats.at_back_edges += 1;
+    }
+
+    // Before external calls.
+    for bb in f.block_ids() {
+        let mut idx = 0;
+        while idx < f.block(bb).insts.len() {
+            let v = f.block(bb).insts[idx];
+            if matches!(f.inst(v), Instruction::CallExternal { .. }) {
+                let sp = f.add_inst(Instruction::Safepoint);
+                f.insert_in_block(bb, idx, sp);
+                stats.before_external_calls += 1;
+                idx += 2;
+            } else {
+                idx += 1;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alaska_ir::module::{BinOp, CmpOp, FunctionBuilder, Operand};
+    use alaska_ir::verify::verify_function;
+
+    fn count_safepoints(f: &Function) -> usize {
+        f.block_ids()
+            .flat_map(|bb| f.block(bb).insts.clone())
+            .filter(|&v| matches!(f.inst(v), Instruction::Safepoint))
+            .count()
+    }
+
+    #[test]
+    fn straight_line_function_gets_one_entry_poll() {
+        let mut b = FunctionBuilder::new("s", 0);
+        let e = b.entry_block();
+        b.ret(e, None);
+        let mut f = b.finish();
+        let stats = insert_safepoints(&mut f);
+        assert_eq!(stats.at_entry, 1);
+        assert_eq!(stats.at_back_edges, 0);
+        assert_eq!(count_safepoints(&f), 1);
+        assert!(verify_function(&f).is_ok());
+    }
+
+    #[test]
+    fn loops_get_back_edge_polls() {
+        let mut b = FunctionBuilder::new("l", 1);
+        let entry = b.entry_block();
+        let header = b.add_block("header");
+        let body = b.add_block("body");
+        let exit = b.add_block("exit");
+        b.br(entry, header);
+        let i = b.phi(header);
+        b.add_phi_incoming(i, entry, Operand::Const(0));
+        let c = b.cmp(header, CmpOp::Lt, Operand::Value(i), Operand::Param(0));
+        b.cond_br(header, Operand::Value(c), body, exit);
+        let n = b.binop(body, BinOp::Add, Operand::Value(i), Operand::Const(1));
+        b.add_phi_incoming(i, body, Operand::Value(n));
+        b.br(body, header);
+        b.ret(exit, None);
+        let mut f = b.finish();
+        let stats = insert_safepoints(&mut f);
+        assert_eq!(stats.at_back_edges, 1);
+        // The poll sits at the end of the latch block.
+        let last = *f.block(body).insts.last().unwrap();
+        assert!(matches!(f.inst(last), Instruction::Safepoint));
+        assert!(verify_function(&f).is_ok());
+    }
+
+    #[test]
+    fn external_calls_are_preceded_by_polls() {
+        let mut b = FunctionBuilder::new("x", 1);
+        let e = b.entry_block();
+        b.call_external(e, "strlen", vec![Operand::Param(0)]);
+        b.call_external(e, "strlen", vec![Operand::Param(0)]);
+        b.ret(e, None);
+        let mut f = b.finish();
+        let stats = insert_safepoints(&mut f);
+        assert_eq!(stats.before_external_calls, 2);
+        // Each external call's immediate predecessor in the block is a poll.
+        let insts = &f.block(e).insts;
+        for (i, &v) in insts.iter().enumerate() {
+            if matches!(f.inst(v), Instruction::CallExternal { .. }) {
+                let prev = insts[i - 1];
+                assert!(matches!(f.inst(prev), Instruction::Safepoint));
+            }
+        }
+        assert!(verify_function(&f).is_ok());
+    }
+}

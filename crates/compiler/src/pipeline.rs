@@ -1,0 +1,342 @@
+//! The Alaska compilation pipeline: pass ordering, configuration presets and
+//! the per-function/ per-module reports the evaluation harnesses consume.
+//!
+//! Pass order matches §4.1 of the paper: allocation replacement, translation
+//! insertion (with or without hoisting), escape handling, pin tracking (slot
+//! assignment), then safepoint insertion.  The presets correspond to the
+//! configurations of Figure 8's ablation study.
+
+use crate::passes::alloc_replace::replace_allocations;
+use crate::passes::dce::eliminate_dead_code;
+use crate::passes::escape::handle_escapes;
+use crate::passes::safepoints::insert_safepoints;
+use crate::passes::tracking::assign_pin_slots;
+use crate::passes::translate_insert::insert_translations;
+use alaska_ir::module::{Function, Module};
+use alaska_ir::verify::verify_function;
+
+/// Which parts of the Alaska transformation to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Rewrite `malloc`/`free` to `halloc`/`hfree` (§4.1.1).
+    pub replace_allocations: bool,
+    /// Hoist translations to pointer-root definitions (§4.1.2); when false a
+    /// translation is emitted before every memory access.
+    pub hoisting: bool,
+    /// Assign pin-frame slots and track pins (§4.1.3).
+    pub tracking: bool,
+    /// Insert safepoint polls (part of the tracking system).
+    pub safepoints: bool,
+    /// Translate handle arguments of external calls (§4.1.4).
+    pub escape_handling: bool,
+}
+
+impl PipelineConfig {
+    /// The full Alaska pipeline ("alaska" in Figure 8).
+    pub fn full() -> Self {
+        PipelineConfig {
+            replace_allocations: true,
+            hoisting: true,
+            tracking: true,
+            safepoints: true,
+            escape_handling: true,
+        }
+    }
+
+    /// Hoisting disabled ("nohoisting"): a translation before every access.
+    /// Also the configuration forced on programs that break strict aliasing
+    /// (perlbench, gcc) via `-fno-strict-aliasing`.
+    pub fn no_hoisting() -> Self {
+        PipelineConfig { hoisting: false, ..Self::full() }
+    }
+
+    /// Tracking (pin frames, slot stores, safepoint polls) disabled
+    /// ("notracking").
+    pub fn no_tracking() -> Self {
+        PipelineConfig { tracking: false, safepoints: false, ..Self::full() }
+    }
+
+    /// No transformation at all — the baseline the overheads are measured
+    /// against.
+    pub fn baseline() -> Self {
+        PipelineConfig {
+            replace_allocations: false,
+            hoisting: false,
+            tracking: false,
+            safepoints: false,
+            escape_handling: false,
+        }
+    }
+
+    /// Short label used in benchmark output rows.
+    pub fn label(&self) -> &'static str {
+        if !self.replace_allocations {
+            "baseline"
+        } else if !self.hoisting {
+            "nohoisting"
+        } else if !self.tracking {
+            "notracking"
+        } else {
+            "alaska"
+        }
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// What the pipeline did to one function.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FunctionReport {
+    /// Function name.
+    pub name: String,
+    /// Allocation sites rewritten to handle allocations.
+    pub allocations_replaced: usize,
+    /// Translations inserted at hoisted positions.
+    pub hoisted_translations: usize,
+    /// Translations inserted per access (non-hoisted).
+    pub per_access_translations: usize,
+    /// Shadow address computations added.
+    pub shadow_geps: usize,
+    /// External-call arguments pinned by escape handling.
+    pub escaped_arguments: usize,
+    /// Pin-frame slots allocated.
+    pub pin_slots: u32,
+    /// Safepoint polls inserted.
+    pub safepoints: usize,
+    /// Static instruction count before the transformation.
+    pub size_before: usize,
+    /// Static instruction count after the transformation.
+    pub size_after: usize,
+}
+
+impl FunctionReport {
+    /// Code growth factor (after / before).
+    pub fn growth(&self) -> f64 {
+        if self.size_before == 0 {
+            1.0
+        } else {
+            self.size_after as f64 / self.size_before as f64
+        }
+    }
+}
+
+/// What the pipeline did to a whole module.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompileReport {
+    /// Per-function details.
+    pub functions: Vec<FunctionReport>,
+    /// The configuration that produced this report.
+    pub config_label: String,
+}
+
+impl CompileReport {
+    /// Total translations inserted across the module.
+    pub fn total_translations(&self) -> usize {
+        self.functions
+            .iter()
+            .map(|f| f.hoisted_translations + f.per_access_translations)
+            .sum()
+    }
+
+    /// Total safepoint polls inserted.
+    pub fn total_safepoints(&self) -> usize {
+        self.functions.iter().map(|f| f.safepoints).sum()
+    }
+
+    /// Module-wide static code growth factor (after / before), the §5.2
+    /// executable-size metric.
+    pub fn code_growth(&self) -> f64 {
+        let before: usize = self.functions.iter().map(|f| f.size_before).sum();
+        let after: usize = self.functions.iter().map(|f| f.size_after).sum();
+        if before == 0 {
+            1.0
+        } else {
+            after as f64 / before as f64
+        }
+    }
+}
+
+/// Apply the configured pipeline to a single function (in place), returning
+/// the report.
+pub fn compile_function(f: &mut Function, config: &PipelineConfig) -> FunctionReport {
+    let mut report = FunctionReport { name: f.name.clone(), size_before: f.static_size(), ..Default::default() };
+    if config.replace_allocations {
+        report.allocations_replaced = replace_allocations(f);
+        let tstats = insert_translations(f, config.hoisting);
+        report.hoisted_translations = tstats.hoisted;
+        report.per_access_translations = tstats.per_access;
+        report.shadow_geps = tstats.shadow_geps;
+        if config.escape_handling {
+            report.escaped_arguments = handle_escapes(f).escaped_arguments;
+        }
+        if config.tracking {
+            report.pin_slots = assign_pin_slots(f).frame_slots;
+        }
+        if config.safepoints {
+            report.safepoints = insert_safepoints(f).total();
+        }
+        // Post-transformation cleanup, standing in for the -O3 passes the
+        // evaluation re-applies after the Alaska transformation (§5.1).
+        eliminate_dead_code(f);
+    }
+    report.size_after = f.static_size();
+    debug_assert!(verify_function(f).is_ok(), "pipeline broke SSA for {}", f.name);
+    report
+}
+
+/// Apply the configured pipeline to every function of `module`, returning the
+/// transformed module and the report.  The input module is not modified.
+pub fn compile_module(module: &Module, config: &PipelineConfig) -> (Module, CompileReport) {
+    let mut out = module.clone();
+    let mut report = CompileReport { config_label: config.label().to_string(), ..Default::default() };
+    for f in out.functions_mut() {
+        report.functions.push(compile_function(f, config));
+    }
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alaska_ir::interp::{InterpConfig, Interpreter};
+    use alaska_ir::module::{BinOp, CmpOp, FunctionBuilder, Operand};
+    use alaska_ir::verify::verify_module;
+    use alaska_runtime::Runtime;
+
+    /// Allocate an array, fill it, sum it in a loop, free it, return the sum.
+    fn array_program(n: i64) -> Module {
+        let mut m = Module::new("array");
+        let mut b = FunctionBuilder::new("main", 0);
+        let entry = b.entry_block();
+        let fill_h = b.add_block("fill_header");
+        let fill_b = b.add_block("fill_body");
+        let sum_h = b.add_block("sum_header");
+        let sum_b = b.add_block("sum_body");
+        let exit = b.add_block("exit");
+
+        let arr = b.malloc(entry, Operand::Const(n * 8));
+        b.br(entry, fill_h);
+
+        let i = b.phi(fill_h);
+        b.add_phi_incoming(i, entry, Operand::Const(0));
+        let c = b.cmp(fill_h, CmpOp::Lt, Operand::Value(i), Operand::Const(n));
+        b.cond_br(fill_h, Operand::Value(c), fill_b, sum_h);
+        let slot = b.gep(fill_b, Operand::Value(arr), Operand::Value(i), 8);
+        b.store(fill_b, Operand::Value(slot), Operand::Value(i));
+        let i2 = b.binop(fill_b, BinOp::Add, Operand::Value(i), Operand::Const(1));
+        b.add_phi_incoming(i, fill_b, Operand::Value(i2));
+        b.br(fill_b, fill_h);
+
+        let j = b.phi(sum_h);
+        let acc = b.phi(sum_h);
+        b.add_phi_incoming(j, fill_h, Operand::Const(0));
+        b.add_phi_incoming(acc, fill_h, Operand::Const(0));
+        let c2 = b.cmp(sum_h, CmpOp::Lt, Operand::Value(j), Operand::Const(n));
+        b.cond_br(sum_h, Operand::Value(c2), sum_b, exit);
+        let slot2 = b.gep(sum_b, Operand::Value(arr), Operand::Value(j), 8);
+        let v = b.load(sum_b, Operand::Value(slot2));
+        let acc2 = b.binop(sum_b, BinOp::Add, Operand::Value(acc), Operand::Value(v));
+        let j2 = b.binop(sum_b, BinOp::Add, Operand::Value(j), Operand::Const(1));
+        b.add_phi_incoming(j, sum_b, Operand::Value(j2));
+        b.add_phi_incoming(acc, sum_b, Operand::Value(acc2));
+        b.br(sum_b, sum_h);
+
+        b.free(exit, Operand::Value(arr));
+        b.ret(exit, Some(Operand::Value(acc)));
+        m.add_function(b.finish());
+        m
+    }
+
+    fn run(m: &Module) -> (u64, u64) {
+        let rt = Runtime::with_malloc_service();
+        let mut interp = Interpreter::new(m, &rt, InterpConfig::default());
+        let r = interp.run("main", &[]).unwrap();
+        (r.return_value.unwrap(), r.cycles)
+    }
+
+    #[test]
+    fn all_presets_preserve_program_semantics() {
+        let n = 100;
+        let expected: u64 = (0..n as u64).sum();
+        let m = array_program(n);
+        let (base_val, base_cycles) = run(&m);
+        assert_eq!(base_val, expected);
+
+        for config in [
+            PipelineConfig::full(),
+            PipelineConfig::no_hoisting(),
+            PipelineConfig::no_tracking(),
+        ] {
+            let (transformed, report) = compile_module(&m, &config);
+            assert!(verify_module(&transformed).is_ok());
+            assert!(report.total_translations() > 0);
+            let (val, cycles) = run(&transformed);
+            assert_eq!(val, expected, "semantics preserved under {}", config.label());
+            assert!(cycles >= base_cycles, "handles never make the model faster");
+        }
+    }
+
+    #[test]
+    fn hoisting_reduces_dynamic_translations() {
+        let m = array_program(500);
+        let (full, _) = compile_module(&m, &PipelineConfig::full());
+        let (naive, _) = compile_module(&m, &PipelineConfig::no_hoisting());
+
+        let rt1 = Runtime::with_malloc_service();
+        let mut i1 = Interpreter::new(&full, &rt1, InterpConfig::default());
+        let r1 = i1.run("main", &[]).unwrap();
+
+        let rt2 = Runtime::with_malloc_service();
+        let mut i2 = Interpreter::new(&naive, &rt2, InterpConfig::default());
+        let r2 = i2.run("main", &[]).unwrap();
+
+        assert!(
+            r1.dynamic.translations < r2.dynamic.translations / 10,
+            "hoisting must amortize loop translations ({} vs {})",
+            r1.dynamic.translations,
+            r2.dynamic.translations
+        );
+        assert!(r1.cycles < r2.cycles, "fewer translations must cost fewer cycles");
+    }
+
+    #[test]
+    fn tracking_adds_pin_frames_and_safepoints() {
+        let m = array_program(50);
+        let (with_tracking, rep1) = compile_module(&m, &PipelineConfig::full());
+        let (without, rep2) = compile_module(&m, &PipelineConfig::no_tracking());
+        assert!(rep1.total_safepoints() > 0);
+        assert_eq!(rep2.total_safepoints(), 0);
+        assert!(with_tracking.function("main").unwrap().pin_frame_slots > 0);
+        assert_eq!(without.function("main").unwrap().pin_frame_slots, 0);
+    }
+
+    #[test]
+    fn baseline_preset_is_identity() {
+        let m = array_program(10);
+        let (same, report) = compile_module(&m, &PipelineConfig::baseline());
+        assert_eq!(same, m);
+        assert_eq!(report.total_translations(), 0);
+        assert!((report.code_growth() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn code_growth_is_reported() {
+        let m = array_program(10);
+        let (_out, report) = compile_module(&m, &PipelineConfig::full());
+        assert!(report.code_growth() > 1.0);
+        assert!(report.code_growth() < 3.0, "growth should be moderate");
+        assert_eq!(report.config_label, "alaska");
+    }
+
+    #[test]
+    fn labels_match_figure8_names() {
+        assert_eq!(PipelineConfig::full().label(), "alaska");
+        assert_eq!(PipelineConfig::no_hoisting().label(), "nohoisting");
+        assert_eq!(PipelineConfig::no_tracking().label(), "notracking");
+        assert_eq!(PipelineConfig::baseline().label(), "baseline");
+    }
+}

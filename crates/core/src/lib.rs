@@ -1,0 +1,215 @@
+//! **Alaska** — automatic, transparent handle-based memory management for
+//! unmanaged code, reproduced in Rust from *Getting a Handle on Unmanaged
+//! Memory* (ASPLOS 2024).
+//!
+//! This facade crate ties the pieces together and offers a small builder API;
+//! the heavy lifting lives in the component crates:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`alaska_runtime`] | handle encoding, handle table, pins, barriers, services |
+//! | [`alaska_anchorage`] | the Anchorage defragmenting allocator + control algorithm |
+//! | [`alaska_ir`] | the SSA IR, analyses and cost-model interpreter |
+//! | [`alaska_compiler`] | the Alaska passes (translation insertion, hoisting, tracking, …) |
+//! | [`alaska_heap`] | the simulated virtual-memory substrate and baseline allocators |
+//!
+//! # Two ways to use it
+//!
+//! **Embed the runtime** (the analogue of linking your program against
+//! `liballaska` and letting the compiler rewrite `malloc`):
+//!
+//! ```
+//! use alaska::AlaskaBuilder;
+//!
+//! let rt = AlaskaBuilder::new().with_anchorage().build();
+//! let h = rt.halloc(128)?;
+//! rt.write_u64(h, 0, 42);
+//! assert_eq!(rt.read_u64(h, 0), 42);
+//!
+//! // Heap objects can move at any barrier; the handle keeps working.
+//! rt.defragment(None);
+//! assert_eq!(rt.read_u64(h, 0), 42);
+//! rt.hfree(h)?;
+//! # Ok::<(), alaska::AlaskaError>(())
+//! ```
+//!
+//! **Compile and run IR** (the analogue of `make CC=alaska`):
+//!
+//! ```
+//! use alaska::{AlaskaBuilder, compiler::PipelineConfig, compiler::compile_module};
+//! use alaska::ir::module::{Module, FunctionBuilder, Operand};
+//! use alaska::ir::interp::{Interpreter, InterpConfig};
+//!
+//! let mut m = Module::new("demo");
+//! let mut f = FunctionBuilder::new("main", 0);
+//! let e = f.entry_block();
+//! let p = f.malloc(e, Operand::Const(8));
+//! f.store(e, Operand::Value(p), Operand::Const(7));
+//! let v = f.load(e, Operand::Value(p));
+//! f.ret(e, Some(Operand::Value(v)));
+//! m.add_function(f.finish());
+//!
+//! let (handle_based, _report) = compile_module(&m, &PipelineConfig::full());
+//! let rt = AlaskaBuilder::new().with_anchorage().build();
+//! let mut interp = Interpreter::new(&handle_based, &rt, InterpConfig::default());
+//! assert_eq!(interp.run("main", &[]).unwrap().return_value, Some(7));
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use alaska_anchorage as anchorage;
+pub use alaska_compiler as compiler;
+pub use alaska_heap as heap;
+pub use alaska_ir as ir;
+pub use alaska_runtime as runtime;
+
+pub use alaska_anchorage::service::AnchorageConfig;
+pub use alaska_anchorage::{AnchorageService, ControlAlgorithm, ControlParams};
+pub use alaska_compiler::{compile_module, PipelineConfig};
+pub use alaska_heap::vmem::VirtualMemory;
+pub use alaska_runtime::{AlaskaError, Handle, HandleId, Runtime, Service};
+
+use alaska_runtime::malloc_service::MallocService;
+
+/// Which backing-memory service an [`AlaskaBuilder`] installs.
+enum ServiceChoice {
+    Malloc,
+    Anchorage(AnchorageConfig),
+    Custom(Box<dyn Service>),
+}
+
+/// Builder for an Alaska [`Runtime`].
+///
+/// ```
+/// use alaska::AlaskaBuilder;
+/// let rt = AlaskaBuilder::new().with_anchorage().build();
+/// assert_eq!(rt.service_name(), "anchorage");
+/// ```
+pub struct AlaskaBuilder {
+    vm: Option<VirtualMemory>,
+    service: ServiceChoice,
+    handle_faults: bool,
+}
+
+impl Default for AlaskaBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AlaskaBuilder {
+    /// Start building a runtime with the default (non-moving `malloc`) service.
+    pub fn new() -> Self {
+        AlaskaBuilder { vm: None, service: ServiceChoice::Malloc, handle_faults: false }
+    }
+
+    /// Use an existing address space instead of creating a fresh one.
+    pub fn with_vm(mut self, vm: VirtualMemory) -> Self {
+        self.vm = Some(vm);
+        self
+    }
+
+    /// Install the Anchorage defragmenting allocator with default parameters.
+    pub fn with_anchorage(mut self) -> Self {
+        self.service = ServiceChoice::Anchorage(AnchorageConfig::default());
+        self
+    }
+
+    /// Install Anchorage with an explicit configuration.
+    pub fn with_anchorage_config(mut self, config: AnchorageConfig) -> Self {
+        self.service = ServiceChoice::Anchorage(config);
+        self
+    }
+
+    /// Install a custom [`Service`] implementation.
+    pub fn with_service(mut self, service: Box<dyn Service>) -> Self {
+        self.service = ServiceChoice::Custom(service);
+        self
+    }
+
+    /// Enable the handle-fault check on the translation path (§7 extension).
+    pub fn with_handle_faults(mut self) -> Self {
+        self.handle_faults = true;
+        self
+    }
+
+    /// Build the runtime.
+    pub fn build(self) -> Runtime {
+        let vm = self.vm.unwrap_or_default();
+        let service: Box<dyn Service> = match self.service {
+            ServiceChoice::Malloc => Box::new(MallocService::new(vm.clone())),
+            ServiceChoice::Anchorage(cfg) => Box::new(AnchorageService::with_config(vm.clone(), cfg)),
+            ServiceChoice::Custom(s) => s,
+        };
+        let rt = Runtime::with_vm(vm, service);
+        rt.enable_handle_faults(self.handle_faults);
+        rt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_installs_the_requested_service() {
+        let rt = AlaskaBuilder::new().build();
+        assert_eq!(rt.service_name(), "malloc-passthrough");
+        let rt = AlaskaBuilder::new().with_anchorage().build();
+        assert_eq!(rt.service_name(), "anchorage");
+    }
+
+    #[test]
+    fn builder_with_shared_vm_and_handle_faults() {
+        let vm = VirtualMemory::default();
+        let rt = AlaskaBuilder::new().with_vm(vm.clone()).with_anchorage().with_handle_faults().build();
+        let h = rt.halloc(16).unwrap();
+        rt.write_u64(h, 0, 3);
+        rt.mark_invalid(h).unwrap();
+        assert_eq!(rt.read_u64(h, 0), 3);
+        assert_eq!(rt.stats().handle_faults, 1);
+        assert_eq!(rt.rss_bytes(), vm.rss_bytes());
+    }
+
+    #[test]
+    fn custom_service_is_accepted() {
+        struct Bump {
+            vm: VirtualMemory,
+            base: alaska_heap::vmem::VirtAddr,
+            cursor: u64,
+            live: u64,
+        }
+        impl Service for Bump {
+            fn alloc(&mut self, size: usize, _id: HandleId) -> Option<alaska_heap::vmem::VirtAddr> {
+                let addr = self.base.add(self.cursor);
+                self.cursor += alaska_heap::align_up(size as u64, 16);
+                self.live += size as u64;
+                let _ = &self.vm;
+                Some(addr)
+            }
+            fn free(&mut self, _id: HandleId, _addr: alaska_heap::vmem::VirtAddr, size: usize) {
+                self.live -= size as u64;
+            }
+            fn usable_size(&self, _addr: alaska_heap::vmem::VirtAddr) -> Option<usize> {
+                None
+            }
+            fn heap_stats(&self) -> alaska_heap::AllocStats {
+                alaska_heap::AllocStats { live_bytes: self.live, heap_extent: self.cursor, ..Default::default() }
+            }
+            fn name(&self) -> &'static str {
+                "bump-example"
+            }
+        }
+        let vm = VirtualMemory::default();
+        let base = vm.map(1 << 20);
+        let rt = AlaskaBuilder::new()
+            .with_vm(vm.clone())
+            .with_service(Box::new(Bump { vm, base, cursor: 0, live: 0 }))
+            .build();
+        let h = rt.halloc(64).unwrap();
+        rt.write_u64(h, 0, 11);
+        assert_eq!(rt.read_u64(h, 0), 11);
+        assert_eq!(rt.service_name(), "bump-example");
+    }
+}

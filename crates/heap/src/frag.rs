@@ -1,0 +1,168 @@
+//! Fragmentation metrics and time-series sampling shared by the evaluation
+//! harnesses.
+//!
+//! The paper's Anchorage control algorithm measures fragmentation with an
+//! `O(1)` metric — "the virtual extent of the heap divided by total size of
+//! active objects" (§4.3) — while the Redis experiments report the OS-level
+//! view, RSS over time.  Both views live here so every allocator and every
+//! figure harness computes them the same way.
+
+use crate::{AllocStats, BackingAllocator};
+
+/// A single point of the RSS-over-time series used by Figures 9–11.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RssSample {
+    /// Milliseconds since the start of the experiment.
+    pub elapsed_ms: u64,
+    /// Resident set size in bytes.
+    pub rss_bytes: u64,
+    /// Live application bytes at the time of the sample.
+    pub live_bytes: u64,
+    /// Fragmentation ratio (heap extent / live bytes).
+    pub fragmentation: f64,
+}
+
+/// A fragmentation/RSS time series.
+#[derive(Debug, Clone, Default)]
+pub struct RssSeries {
+    samples: Vec<RssSample>,
+}
+
+impl RssSeries {
+    /// Create an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a sample from an allocator at the given elapsed time.
+    pub fn sample<A: BackingAllocator + ?Sized>(&mut self, elapsed_ms: u64, alloc: &A) {
+        let st = alloc.stats();
+        self.samples.push(RssSample {
+            elapsed_ms,
+            rss_bytes: alloc.rss_bytes(),
+            live_bytes: st.live_bytes,
+            fragmentation: crate::fragmentation_ratio(alloc.rss_bytes(), st.live_bytes),
+        });
+    }
+
+    /// Record an externally computed sample.
+    pub fn push(&mut self, sample: RssSample) {
+        self.samples.push(sample);
+    }
+
+    /// All samples in insertion order.
+    pub fn samples(&self) -> &[RssSample] {
+        &self.samples
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Peak RSS over the series, in bytes.
+    pub fn peak_rss(&self) -> u64 {
+        self.samples.iter().map(|s| s.rss_bytes).max().unwrap_or(0)
+    }
+
+    /// Mean RSS over the last `n` samples (steady state), in bytes.
+    pub fn steady_state_rss(&self, n: usize) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let tail = &self.samples[self.samples.len().saturating_sub(n)..];
+        let sum: u64 = tail.iter().map(|s| s.rss_bytes).sum();
+        sum / tail.len() as u64
+    }
+
+    /// Memory saved at steady state relative to another (baseline) series, as a
+    /// fraction in `[0, 1]`.  This is the paper's "up to 40% in Redis" number.
+    pub fn savings_vs(&self, baseline: &RssSeries, steady_window: usize) -> f64 {
+        let base = baseline.steady_state_rss(steady_window);
+        if base == 0 {
+            return 0.0;
+        }
+        let own = self.steady_state_rss(steady_window);
+        1.0 - own as f64 / base as f64
+    }
+}
+
+/// Internal fragmentation estimate: fraction of allocated bytes wasted by
+/// rounding requests up to size classes.
+pub fn internal_fragmentation(requested: u64, granted: u64) -> f64 {
+    if granted == 0 {
+        0.0
+    } else {
+        1.0 - requested as f64 / granted as f64
+    }
+}
+
+/// External fragmentation estimate derived from allocator statistics: the
+/// fraction of the heap extent not occupied by live data.
+pub fn external_fragmentation(stats: &AllocStats) -> f64 {
+    if stats.heap_extent == 0 {
+        0.0
+    } else {
+        1.0 - (stats.live_bytes.min(stats.heap_extent)) as f64 / stats.heap_extent as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freelist::FreeListAllocator;
+    use crate::vmem::VirtualMemory;
+
+    #[test]
+    fn series_tracks_peak_and_steady_state() {
+        let mut s = RssSeries::new();
+        for (t, rss) in [(0u64, 10u64), (1, 50), (2, 40), (3, 20), (4, 20), (5, 20)] {
+            s.push(RssSample {
+                elapsed_ms: t,
+                rss_bytes: rss,
+                live_bytes: rss / 2,
+                fragmentation: 2.0,
+            });
+        }
+        assert_eq!(s.peak_rss(), 50);
+        assert_eq!(s.steady_state_rss(3), 20);
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn savings_vs_baseline() {
+        let mut base = RssSeries::new();
+        let mut ours = RssSeries::new();
+        for t in 0..10u64 {
+            base.push(RssSample { elapsed_ms: t, rss_bytes: 300, live_bytes: 100, fragmentation: 3.0 });
+            ours.push(RssSample { elapsed_ms: t, rss_bytes: 180, live_bytes: 100, fragmentation: 1.8 });
+        }
+        let savings = ours.savings_vs(&base, 5);
+        assert!((savings - 0.4).abs() < 1e-9, "40% savings expected, got {savings}");
+    }
+
+    #[test]
+    fn sampling_an_allocator_captures_rss() {
+        let vm = VirtualMemory::shared(4096);
+        let mut a = FreeListAllocator::new(vm.clone());
+        let p = a.alloc(8192).unwrap();
+        vm.fill(p, 1, 8192);
+        let mut s = RssSeries::new();
+        s.sample(0, &a);
+        assert_eq!(s.samples()[0].rss_bytes, a.rss_bytes());
+        assert!(s.samples()[0].fragmentation >= 1.0);
+    }
+
+    #[test]
+    fn fragmentation_estimates() {
+        assert_eq!(internal_fragmentation(0, 0), 0.0);
+        assert!((internal_fragmentation(75, 100) - 0.25).abs() < 1e-9);
+        let st = AllocStats { live_bytes: 50, heap_extent: 200, ..Default::default() };
+        assert!((external_fragmentation(&st) - 0.75).abs() < 1e-9);
+    }
+}

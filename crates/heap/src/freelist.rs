@@ -1,0 +1,310 @@
+//! A non-moving, size-class segregated free-list allocator.
+//!
+//! This is the reproduction's stand-in for `glibc malloc` / `jemalloc`: the
+//! *baseline* allocator in Figures 9 and 11.  Its behaviour is deliberately
+//! faithful to the property the paper leans on — once the heap grows, the
+//! allocator never returns pages to the kernel, so an LRU-churned heap keeps
+//! its peak RSS even after most objects die (external fragmentation).
+//!
+//! Mechanically it follows the classic small/large split:
+//!
+//! * small requests are rounded up to one of a set of size classes and carved
+//!   from size-class *runs* (contiguous chunks of the heap); freed small blocks
+//!   go on a per-class free list and are reused LIFO,
+//! * large requests get page-aligned chunks carved directly from the heap
+//!   cursor and are remembered individually.
+//!
+//! Addresses returned are stable for the lifetime of the allocation (the
+//! allocator can never move an object — that is exactly the limitation the
+//! paper's handles remove).
+
+use crate::vmem::{VirtAddr, VirtualMemory};
+use crate::{align_up, AllocStats, BackingAllocator};
+use std::collections::HashMap;
+
+/// Allocations at or above this size bypass the size classes.
+const LARGE_THRESHOLD: usize = 16 * 1024;
+
+/// Size classes used for small allocations, in bytes.  A superset of the
+/// jemalloc small classes: every small request is rounded up to the first
+/// class that fits, which bounds internal fragmentation to ~25%.
+pub const SIZE_CLASSES: &[usize] = &[
+    16, 32, 48, 64, 80, 96, 112, 128, 160, 192, 224, 256, 320, 384, 448, 512, 640, 768, 896, 1024,
+    1280, 1536, 1792, 2048, 2560, 3072, 3584, 4096, 5120, 6144, 7168, 8192, 10240, 12288, 14336,
+    16384,
+];
+
+/// How much address space a single run of a size class spans.
+const RUN_BYTES: usize = 64 * 1024;
+
+/// Total address space reserved for the heap up front (like the paper's
+/// allocators, we reserve a large extent and rely on demand paging).
+const DEFAULT_RESERVE: u64 = 1 << 36; // 64 GiB of address space
+
+fn class_index(size: usize) -> Option<usize> {
+    SIZE_CLASSES.iter().position(|&c| c >= size)
+}
+
+/// The non-moving free-list allocator.  See the module documentation.
+pub struct FreeListAllocator {
+    vm: VirtualMemory,
+    heap_base: VirtAddr,
+    reserve: u64,
+    /// Bump cursor: offset of the first never-used byte.
+    cursor: u64,
+    /// Per-class free lists (addresses of freed blocks).
+    free_lists: Vec<Vec<VirtAddr>>,
+    /// Per-class partially filled run: (next offset within run, run end).
+    open_runs: Vec<Option<(u64, u64)>>,
+    /// Live allocations: address -> (requested size, class index or usize::MAX for large).
+    live: HashMap<u64, (usize, usize)>,
+    /// Free list for large allocations, keyed by page-rounded size.
+    large_free: HashMap<usize, Vec<VirtAddr>>,
+    stats: AllocStats,
+}
+
+impl FreeListAllocator {
+    /// Create an allocator with the default (64 GiB) address-space reservation.
+    pub fn new(vm: VirtualMemory) -> Self {
+        Self::with_reserve(vm, DEFAULT_RESERVE)
+    }
+
+    /// Create an allocator reserving `reserve` bytes of address space.
+    pub fn with_reserve(vm: VirtualMemory, reserve: u64) -> Self {
+        let heap_base = vm.map(reserve);
+        FreeListAllocator {
+            vm,
+            heap_base,
+            reserve,
+            cursor: 0,
+            free_lists: vec![Vec::new(); SIZE_CLASSES.len()],
+            open_runs: vec![None; SIZE_CLASSES.len()],
+            live: HashMap::new(),
+            large_free: HashMap::new(),
+            stats: AllocStats::default(),
+        }
+    }
+
+    /// The shared address space this allocator allocates from.
+    pub fn vm(&self) -> &VirtualMemory {
+        &self.vm
+    }
+
+    /// Base address of the heap mapping.
+    pub fn heap_base(&self) -> VirtAddr {
+        self.heap_base
+    }
+
+    fn bump(&mut self, bytes: u64, align: u64) -> Option<u64> {
+        let start = align_up(self.cursor, align);
+        let end = start.checked_add(bytes)?;
+        if end > self.reserve {
+            return None;
+        }
+        self.cursor = end;
+        self.stats.heap_extent = self.cursor;
+        Some(start)
+    }
+
+    fn alloc_small(&mut self, size: usize, class: usize) -> Option<VirtAddr> {
+        if let Some(addr) = self.free_lists[class].pop() {
+            return Some(addr);
+        }
+        let class_size = SIZE_CLASSES[class] as u64;
+        // Carve from the open run, opening a new one if necessary.
+        loop {
+            if let Some((next, end)) = self.open_runs[class] {
+                if next + class_size <= end {
+                    self.open_runs[class] = Some((next + class_size, end));
+                    return Some(self.heap_base.add(next));
+                }
+            }
+            let run_len = RUN_BYTES.max(SIZE_CLASSES[class]) as u64;
+            let start = self.bump(run_len, 16)?;
+            self.open_runs[class] = Some((start, start + run_len));
+            let _ = size;
+        }
+    }
+
+    fn alloc_large(&mut self, size: usize) -> Option<VirtAddr> {
+        let rounded = align_up(size as u64, self.vm.page_size() as u64) as usize;
+        if let Some(list) = self.large_free.get_mut(&rounded) {
+            if let Some(addr) = list.pop() {
+                return Some(addr);
+            }
+        }
+        let start = self.bump(rounded as u64, self.vm.page_size() as u64)?;
+        Some(self.heap_base.add(start))
+    }
+}
+
+impl BackingAllocator for FreeListAllocator {
+    fn alloc(&mut self, size: usize) -> Option<VirtAddr> {
+        let size = size.max(1);
+        let (addr, class) = if size < LARGE_THRESHOLD {
+            let class = class_index(size).expect("small size must have a class");
+            (self.alloc_small(size, class)?, class)
+        } else {
+            (self.alloc_large(size)?, usize::MAX)
+        };
+        self.live.insert(addr.0, (size, class));
+        self.stats.live_bytes += size as u64;
+        self.stats.live_objects += 1;
+        self.stats.total_allocated += size as u64;
+        self.stats.total_allocations += 1;
+        Some(addr)
+    }
+
+    fn free(&mut self, addr: VirtAddr) {
+        let (size, class) = self
+            .live
+            .remove(&addr.0)
+            .unwrap_or_else(|| panic!("free of non-live address {addr}"));
+        self.stats.live_bytes -= size as u64;
+        self.stats.live_objects -= 1;
+        self.stats.total_frees += 1;
+        if class == usize::MAX {
+            let rounded = align_up(size as u64, self.vm.page_size() as u64) as usize;
+            self.large_free.entry(rounded).or_default().push(addr);
+        } else {
+            self.free_lists[class].push(addr);
+        }
+    }
+
+    fn size_of(&self, addr: VirtAddr) -> Option<usize> {
+        self.live.get(&addr.0).map(|&(size, _)| size)
+    }
+
+    fn stats(&self) -> AllocStats {
+        self.stats
+    }
+
+    fn rss_bytes(&self) -> u64 {
+        self.vm.rss_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "baseline-freelist"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn new_alloc() -> FreeListAllocator {
+        FreeListAllocator::new(VirtualMemory::shared(4096))
+    }
+
+    #[test]
+    fn alloc_free_reuses_blocks() {
+        let mut a = new_alloc();
+        let x = a.alloc(100).unwrap();
+        a.free(x);
+        let y = a.alloc(100).unwrap();
+        assert_eq!(x, y, "freed block of the same class is reused LIFO");
+    }
+
+    #[test]
+    fn distinct_live_allocations_do_not_overlap() {
+        let mut a = new_alloc();
+        let mut addrs = Vec::new();
+        for i in 0..200usize {
+            let size = 16 + (i % 500);
+            let p = a.alloc(size).unwrap();
+            addrs.push((p, size));
+        }
+        addrs.sort();
+        for w in addrs.windows(2) {
+            let (p0, s0) = w[0];
+            let (p1, _) = w[1];
+            assert!(p0.0 + s0 as u64 <= p1.0, "allocations overlap: {p0}+{s0} vs {p1}");
+        }
+    }
+
+    #[test]
+    fn zero_sized_allocations_are_distinct() {
+        let mut a = new_alloc();
+        let x = a.alloc(0).unwrap();
+        let y = a.alloc(0).unwrap();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn large_allocations_are_page_aligned() {
+        let mut a = new_alloc();
+        let p = a.alloc(100_000).unwrap();
+        assert_eq!((p.0 - a.heap_base().0) % 4096, 0);
+        assert_eq!(a.size_of(p), Some(100_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-live")]
+    fn double_free_panics() {
+        let mut a = new_alloc();
+        let p = a.alloc(64).unwrap();
+        a.free(p);
+        a.free(p);
+    }
+
+    #[test]
+    fn stats_track_live_bytes() {
+        let mut a = new_alloc();
+        let p = a.alloc(1000).unwrap();
+        let q = a.alloc(2000).unwrap();
+        assert_eq!(a.stats().live_bytes, 3000);
+        assert_eq!(a.stats().live_objects, 2);
+        a.free(p);
+        assert_eq!(a.stats().live_bytes, 2000);
+        a.free(q);
+        assert_eq!(a.stats().live_bytes, 0);
+        assert_eq!(a.stats().total_allocations, 2);
+        assert_eq!(a.stats().total_frees, 2);
+    }
+
+    #[test]
+    fn rss_does_not_shrink_after_frees() {
+        // The key baseline property from the paper: external fragmentation
+        // keeps pages resident even when most objects are dead.
+        let vm = VirtualMemory::shared(4096);
+        let mut a = FreeListAllocator::new(vm.clone());
+        let mut ptrs = Vec::new();
+        for _ in 0..10_000 {
+            let p = a.alloc(512).unwrap();
+            vm.fill(p, 0xCD, 512);
+            ptrs.push(p);
+        }
+        let peak = a.rss_bytes();
+        assert!(peak >= 10_000 * 512);
+        // Free every other allocation: lots of holes, no page is fully free
+        // from the allocator's point of view, and it never madvises anyway.
+        for (i, p) in ptrs.iter().enumerate() {
+            if i % 2 == 0 {
+                a.free(*p);
+            }
+        }
+        assert_eq!(a.rss_bytes(), peak, "baseline allocator never returns memory");
+        assert!(a.stats().live_bytes <= peak / 2 + 4096);
+    }
+
+    #[test]
+    fn reclaim_is_a_noop() {
+        let mut a = new_alloc();
+        let p = a.alloc(4096).unwrap();
+        a.vm().fill(p, 1, 4096);
+        a.free(p);
+        assert_eq!(a.reclaim(None), 0);
+    }
+
+    #[test]
+    fn heap_extent_grows_monotonically() {
+        let mut a = new_alloc();
+        let mut last = 0;
+        for i in 1..100 {
+            a.alloc(i * 37).unwrap();
+            let e = a.stats().heap_extent;
+            assert!(e >= last);
+            last = e;
+        }
+    }
+}

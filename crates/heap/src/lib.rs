@@ -1,0 +1,144 @@
+//! Memory substrate for the Alaska reproduction.
+//!
+//! The paper's runtime hands out *virtual addresses* backed by real RAM and
+//! relies on the operating system for page accounting (`RSS`), demand paging and
+//! `madvise(MADV_DONTNEED)`.  This crate replaces that substrate with a
+//! deterministic, fully observable simulation:
+//!
+//! * [`vmem::VirtualMemory`] — a 64-bit address space made of reserved
+//!   *mappings* whose 4 KiB pages are committed lazily on first write and can be
+//!   decommitted again with [`vmem::VirtualMemory::madvise_dontneed`].  Resident
+//!   set size is simply the number of committed pages.
+//! * [`freelist::FreeListAllocator`] — a non-moving, size-class segregated
+//!   free-list allocator standing in for `glibc malloc`/`jemalloc`.  It never
+//!   returns memory to the "kernel", so a fragmented heap keeps its RSS — the
+//!   baseline behaviour in Figures 9 and 11 of the paper.
+//! * [`mesh::MeshAllocator`] — a reproduction of the *Mesh* allocator's
+//!   mechanism (Powers et al., PLDI 2019): randomized slot placement inside
+//!   size-class spans and a meshing pass that overlays pairs of spans with
+//!   non-overlapping occupancy, releasing the physical pages of one of them.
+//! * [`frag`] — fragmentation metrics shared by all allocators and by the
+//!   Anchorage control algorithm.
+//!
+//! All allocators implement the [`BackingAllocator`] trait so the key-value
+//! store workloads (Figures 9–11) can be run unchanged against any of them.
+//!
+//! # Example
+//!
+//! ```
+//! use alaska_heap::{vmem::VirtualMemory, freelist::FreeListAllocator, BackingAllocator};
+//!
+//! let vm = VirtualMemory::shared(4096);
+//! let mut alloc = FreeListAllocator::new(vm.clone());
+//! let a = alloc.alloc(100).unwrap();
+//! vm.write_bytes(a, b"hello");
+//! assert_eq!(&vm.read_vec(a, 5), b"hello");
+//! alloc.free(a);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod frag;
+pub mod freelist;
+pub mod mesh;
+pub mod vmem;
+
+use vmem::VirtAddr;
+
+/// Statistics snapshot common to every backing allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocStats {
+    /// Bytes currently handed out to the application (sum of live allocation sizes).
+    pub live_bytes: u64,
+    /// Number of live allocations.
+    pub live_objects: u64,
+    /// Total bytes ever allocated.
+    pub total_allocated: u64,
+    /// Total number of allocation requests served.
+    pub total_allocations: u64,
+    /// Total number of `free` calls.
+    pub total_frees: u64,
+    /// Virtual extent of the heap in bytes (highest used offset from the heap base).
+    pub heap_extent: u64,
+}
+
+/// A backing-memory allocator operating inside a [`vmem::VirtualMemory`].
+///
+/// This is the interface the evaluation workloads (and the Alaska *service*
+/// adapters) program against.  Implementations differ in whether they can move
+/// objects (Anchorage), overlay pages (Mesh) or do neither (the free-list
+/// baseline).
+pub trait BackingAllocator: Send {
+    /// Allocate `size` bytes and return the address of the new block.
+    ///
+    /// Returns `None` if the allocator cannot satisfy the request (address
+    /// space exhausted).  A `size` of zero is rounded up to the minimum block
+    /// size, mirroring `malloc(0)` returning a unique pointer.
+    fn alloc(&mut self, size: usize) -> Option<VirtAddr>;
+
+    /// Free the block previously returned by [`BackingAllocator::alloc`].
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `addr` is not a live allocation (double
+    /// free or wild free), as the real allocators would corrupt their state.
+    fn free(&mut self, addr: VirtAddr);
+
+    /// Size in bytes of the live block at `addr`, if it is live.
+    fn size_of(&self, addr: VirtAddr) -> Option<usize>;
+
+    /// Current allocator statistics.
+    fn stats(&self) -> AllocStats;
+
+    /// Resident set size of the underlying address space, in bytes.
+    fn rss_bytes(&self) -> u64;
+
+    /// Opportunity for the allocator to reduce memory usage (defragment, mesh,
+    /// decommit).  `budget_bytes` bounds how much data may be copied; `None`
+    /// means unbounded.  Returns the number of bytes of physical memory
+    /// released.  The default implementation does nothing, like `malloc`.
+    fn reclaim(&mut self, _budget_bytes: Option<u64>) -> u64 {
+        0
+    }
+
+    /// Human-readable allocator name used in benchmark output rows.
+    fn name(&self) -> &'static str;
+}
+
+/// Fragmentation ratio as used throughout the paper: virtual heap extent (or
+/// RSS for the OS-level view) divided by live bytes.  Returns 1.0 for an empty
+/// heap so that idle processes do not appear fragmented.
+pub fn fragmentation_ratio(extent: u64, live: u64) -> f64 {
+    if live == 0 {
+        1.0
+    } else {
+        extent as f64 / live as f64
+    }
+}
+
+/// Round `v` up to the next multiple of `align` (power of two).
+pub fn align_up(v: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    (v + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_up_works() {
+        assert_eq!(align_up(0, 16), 0);
+        assert_eq!(align_up(1, 16), 16);
+        assert_eq!(align_up(16, 16), 16);
+        assert_eq!(align_up(17, 16), 32);
+        assert_eq!(align_up(4095, 4096), 4096);
+    }
+
+    #[test]
+    fn fragmentation_ratio_handles_empty_heap() {
+        assert_eq!(fragmentation_ratio(4096, 0), 1.0);
+        assert!((fragmentation_ratio(200, 100) - 2.0).abs() < 1e-9);
+    }
+}

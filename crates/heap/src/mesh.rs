@@ -1,0 +1,509 @@
+//! A Mesh-like compacting allocator (Powers et al., PLDI 2019) used as a
+//! comparator in Figures 9 and 11.
+//!
+//! Mesh reduces the RSS of fragmented heaps *without moving objects in virtual
+//! memory*: objects are placed at randomized slot offsets inside fixed-size,
+//! size-class *spans*; when two spans of the same class have disjoint occupancy
+//! bitmaps, their virtual pages are remapped onto a single physical page
+//! ("meshing"), halving their physical footprint.
+//!
+//! This reproduction implements the parts of Mesh that determine the RSS curve:
+//!
+//! * size-class spans with **randomized slot selection** (randomization is what
+//!   makes two spans likely to be meshable),
+//! * a **meshing pass** that finds disjoint span pairs per size class with the
+//!   random-pair probing strategy of Mesh's `SplitMesher`,
+//! * release of fully empty spans back to the kernel (`madvise`).
+//!
+//! The one substitution: instead of aliasing two virtual pages onto one
+//! physical frame (which needs MMU cooperation), the physical saving of a mesh
+//! is tracked by accounting — [`MeshAllocator::rss_bytes`] subtracts one page
+//! per active mesh from the address-space RSS.  Object data stays readable at
+//! its original virtual address, so workloads run unmodified, and the reported
+//! RSS matches what the real remapping would produce.
+
+use crate::vmem::{VirtAddr, VirtualMemory};
+use crate::{AllocStats, BackingAllocator};
+use std::collections::HashMap;
+
+/// Span length in bytes (one base page, as in Mesh).
+const SPAN_BYTES: usize = 4096;
+
+/// Allocations larger than this are not span-managed (delegated to a simple
+/// page-granular path, like Mesh's large-object fallback).
+const MAX_SMALL: usize = 2048;
+
+/// Size classes for span-managed objects.  The smallest class is 64 bytes so a
+/// span's occupancy fits in a single 64-bit bitmap word (4096 / 64 = 64 slots).
+pub const MESH_SIZE_CLASSES: &[usize] = &[
+    64, 96, 128, 192, 256, 384, 512, 768, 1024, 2048,
+];
+
+/// Number of random probe attempts per span when searching for mesh partners,
+/// mirroring Mesh's bounded search.
+const MESH_PROBES: usize = 16;
+
+fn class_index(size: usize) -> Option<usize> {
+    MESH_SIZE_CLASSES.iter().position(|&c| c >= size)
+}
+
+/// A tiny deterministic xorshift generator so allocation placement is
+/// reproducible across runs without depending on `rand` in the library crate.
+#[derive(Debug, Clone)]
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed | 1)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+#[derive(Debug)]
+struct Span {
+    base: VirtAddr,
+    class: usize,
+    /// Occupancy bitmap, one bit per slot.
+    bits: u64,
+    slots: usize,
+    /// Index of the span this one is meshed with, if any.
+    meshed_with: Option<usize>,
+    /// Spans that have been meshed no longer accept new allocations.
+    retired: bool,
+    /// Span has been released back to the kernel.
+    released: bool,
+}
+
+impl Span {
+    fn occupied(&self) -> u32 {
+        self.bits.count_ones()
+    }
+    fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+    fn is_full(&self) -> bool {
+        self.occupied() as usize == self.slots
+    }
+}
+
+/// The Mesh-like allocator.  See the module documentation.
+pub struct MeshAllocator {
+    vm: VirtualMemory,
+    spans: Vec<Span>,
+    /// Per-class list of span indices that may still serve allocations.
+    partial: Vec<Vec<usize>>,
+    /// Map from span base page (addr / SPAN_BYTES) to span index.
+    span_of_page: HashMap<u64, usize>,
+    /// Live large allocations: base -> (mapping base, size).
+    large: HashMap<u64, (VirtAddr, usize)>,
+    /// Live small allocations: addr -> (span index, slot, requested size).
+    small: HashMap<u64, (usize, usize, usize)>,
+    /// Pages currently saved by active meshes.
+    meshed_pages_saved: u64,
+    rng: XorShift,
+    stats: AllocStats,
+    heap_top: u64,
+}
+
+impl MeshAllocator {
+    /// Create a Mesh-like allocator over the given address space with a fixed
+    /// placement seed (placement randomization is part of the algorithm, the
+    /// seed only makes runs reproducible).
+    pub fn new(vm: VirtualMemory) -> Self {
+        Self::with_seed(vm, 0x4d45_5348)
+    }
+
+    /// Create a Mesh-like allocator with an explicit placement seed.
+    pub fn with_seed(vm: VirtualMemory, seed: u64) -> Self {
+        MeshAllocator {
+            vm,
+            spans: Vec::new(),
+            partial: vec![Vec::new(); MESH_SIZE_CLASSES.len()],
+            span_of_page: HashMap::new(),
+            large: HashMap::new(),
+            small: HashMap::new(),
+            meshed_pages_saved: 0,
+            rng: XorShift::new(seed),
+            stats: AllocStats::default(),
+            heap_top: 0,
+        }
+    }
+
+    /// The shared address space this allocator allocates from.
+    pub fn vm(&self) -> &VirtualMemory {
+        &self.vm
+    }
+
+    /// Number of currently active meshes (pairs of spans sharing one physical page).
+    pub fn active_meshes(&self) -> u64 {
+        self.meshed_pages_saved
+    }
+
+    fn new_span(&mut self, class: usize) -> usize {
+        let base = self.vm.map(SPAN_BYTES as u64);
+        let slots = SPAN_BYTES / MESH_SIZE_CLASSES[class];
+        let idx = self.spans.len();
+        self.spans.push(Span {
+            base,
+            class,
+            bits: 0,
+            slots,
+            meshed_with: None,
+            retired: false,
+            released: false,
+        });
+        self.span_of_page.insert(base.0 / SPAN_BYTES as u64, idx);
+        self.partial[class].push(idx);
+        self.heap_top += SPAN_BYTES as u64;
+        self.stats.heap_extent = self.heap_top;
+        idx
+    }
+
+    fn alloc_small(&mut self, size: usize, class: usize) -> VirtAddr {
+        // Find (or create) a span with room.
+        let span_idx = loop {
+            if let Some(&idx) = self.partial[class].last() {
+                let s = &self.spans[idx];
+                if !s.retired && !s.is_full() {
+                    break idx;
+                }
+                self.partial[class].pop();
+            } else {
+                break self.new_span(class);
+            }
+        };
+        // Randomized slot choice among the free slots (Mesh's key trick).
+        let span = &mut self.spans[span_idx];
+        let free_count = span.slots - span.occupied() as usize;
+        let mut pick = self.rng.below(free_count);
+        let mut slot = 0usize;
+        for i in 0..span.slots {
+            if span.bits & (1 << i) == 0 {
+                if pick == 0 {
+                    slot = i;
+                    break;
+                }
+                pick -= 1;
+            }
+        }
+        span.bits |= 1 << slot;
+        let addr = span.base.add((slot * MESH_SIZE_CLASSES[class]) as u64);
+        if span.is_full() {
+            // Drop it from the partial list lazily on next alloc.
+        }
+        self.small.insert(addr.0, (span_idx, slot, size));
+        addr
+    }
+
+    fn release_span(&mut self, idx: usize) {
+        let span = &mut self.spans[idx];
+        if !span.released {
+            self.vm.madvise_dontneed(span.base, SPAN_BYTES as u64);
+            span.released = true;
+        }
+    }
+
+    /// Attempt one meshing pass.  Returns the number of page-bytes newly saved.
+    fn mesh_pass(&mut self, budget_bytes: Option<u64>) -> u64 {
+        let mut saved = 0u64;
+        let mut copied = 0u64;
+        for class in 0..MESH_SIZE_CLASSES.len() {
+            // Candidate spans: occupied, not yet meshed, not released.
+            let candidates: Vec<usize> = (0..self.spans.len())
+                .filter(|&i| {
+                    let s = &self.spans[i];
+                    s.class == class && s.meshed_with.is_none() && !s.is_empty() && !s.released
+                })
+                .collect();
+            if candidates.len() < 2 {
+                continue;
+            }
+            let mut used = vec![false; candidates.len()];
+            for ci in 0..candidates.len() {
+                if used[ci] {
+                    continue;
+                }
+                if let Some(budget) = budget_bytes {
+                    if copied >= budget {
+                        return saved;
+                    }
+                }
+                // Bounded random probing for a disjoint partner.
+                for _ in 0..MESH_PROBES {
+                    let cj = self.rng.below(candidates.len());
+                    if cj == ci || used[cj] {
+                        continue;
+                    }
+                    let (a, b) = (candidates[ci], candidates[cj]);
+                    if self.spans[a].bits & self.spans[b].bits == 0 {
+                        // Mesh b onto a: in the real system the occupied slots of
+                        // b are copied into a's physical page and b's virtual page
+                        // is remapped.  We perform the copy (so the data motion
+                        // cost is real) and account the physical saving.
+                        let (a_base, b_base, b_bits, slots) = {
+                            let sa = &self.spans[a];
+                            let sb = &self.spans[b];
+                            (sa.base, sb.base, sb.bits, sb.slots)
+                        };
+                        let class_size = MESH_SIZE_CLASSES[class];
+                        for slot in 0..slots {
+                            if b_bits & (1 << slot) != 0 {
+                                let off = (slot * class_size) as u64;
+                                self.vm.copy(b_base.add(off), a_base.add(off), class_size);
+                                copied += class_size as u64;
+                            }
+                        }
+                        self.spans[a].meshed_with = Some(b);
+                        self.spans[b].meshed_with = Some(a);
+                        self.spans[a].retired = true;
+                        self.spans[b].retired = true;
+                        self.meshed_pages_saved += 1;
+                        saved += SPAN_BYTES as u64;
+                        used[ci] = true;
+                        used[cj] = true;
+                        break;
+                    }
+                }
+            }
+        }
+        saved
+    }
+}
+
+impl BackingAllocator for MeshAllocator {
+    fn alloc(&mut self, size: usize) -> Option<VirtAddr> {
+        let size = size.max(1);
+        let addr = if size <= MAX_SMALL {
+            let class = class_index(size).expect("small size has a class");
+            self.alloc_small(size, class)
+        } else {
+            let base = self.vm.map(size as u64);
+            self.large.insert(base.0, (base, size));
+            self.heap_top += crate::align_up(size as u64, SPAN_BYTES as u64);
+            self.stats.heap_extent = self.heap_top;
+            base
+        };
+        self.stats.live_bytes += size as u64;
+        self.stats.live_objects += 1;
+        self.stats.total_allocated += size as u64;
+        self.stats.total_allocations += 1;
+        Some(addr)
+    }
+
+    fn free(&mut self, addr: VirtAddr) {
+        if let Some((span_idx, slot, size)) = self.small.remove(&addr.0) {
+            self.stats.live_bytes -= size as u64;
+            self.stats.live_objects -= 1;
+            self.stats.total_frees += 1;
+            let span = &mut self.spans[span_idx];
+            assert!(span.bits & (1 << slot) != 0, "double free at {addr}");
+            span.bits &= !(1 << slot);
+            let empty = span.is_empty();
+            let partner = span.meshed_with;
+            let class = span.class;
+            if empty {
+                match partner {
+                    None => {
+                        // A fully empty, unmeshed span is returned to the kernel.
+                        self.release_span(span_idx);
+                    }
+                    Some(p) => {
+                        if self.spans[p].is_empty() {
+                            // Both halves of a mesh are dead: the single shared
+                            // physical page is released, and the pair no longer
+                            // counts as a saving.
+                            self.release_span(span_idx);
+                            self.release_span(p);
+                            self.meshed_pages_saved = self.meshed_pages_saved.saturating_sub(1);
+                        }
+                    }
+                }
+            } else if partner.is_none() && !self.spans[span_idx].retired {
+                // Span has room again; make sure it is allocatable.
+                if !self.partial[class].contains(&span_idx) {
+                    self.partial[class].push(span_idx);
+                }
+            }
+        } else if let Some((base, size)) = self.large.remove(&addr.0) {
+            self.stats.live_bytes -= size as u64;
+            self.stats.live_objects -= 1;
+            self.stats.total_frees += 1;
+            self.vm.unmap(base);
+        } else {
+            panic!("free of non-live address {addr}");
+        }
+    }
+
+    fn size_of(&self, addr: VirtAddr) -> Option<usize> {
+        self.small
+            .get(&addr.0)
+            .map(|&(_, _, size)| size)
+            .or_else(|| self.large.get(&addr.0).map(|&(_, size)| size))
+    }
+
+    fn stats(&self) -> AllocStats {
+        self.stats
+    }
+
+    fn rss_bytes(&self) -> u64 {
+        self.vm
+            .rss_bytes()
+            .saturating_sub(self.meshed_pages_saved * SPAN_BYTES as u64)
+    }
+
+    fn reclaim(&mut self, budget_bytes: Option<u64>) -> u64 {
+        self.mesh_pass(budget_bytes)
+    }
+
+    fn name(&self) -> &'static str {
+        "mesh"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn new_mesh() -> MeshAllocator {
+        MeshAllocator::new(VirtualMemory::shared(4096))
+    }
+
+    #[test]
+    fn alloc_and_free_roundtrip() {
+        let mut m = new_mesh();
+        let a = m.alloc(100).unwrap();
+        m.vm().fill(a, 0x5A, 100);
+        assert_eq!(m.size_of(a), Some(100));
+        m.free(a);
+        assert_eq!(m.size_of(a), None);
+    }
+
+    #[test]
+    fn small_allocations_land_in_spans() {
+        let mut m = new_mesh();
+        let a = m.alloc(64).unwrap();
+        let b = m.alloc(64).unwrap();
+        // Same span unless the first span filled up.
+        assert_eq!(a.0 / 4096, b.0 / 4096);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn large_allocations_get_their_own_mapping_and_release_on_free() {
+        let vm = VirtualMemory::shared(4096);
+        let mut m = MeshAllocator::new(vm.clone());
+        let a = m.alloc(100_000).unwrap();
+        vm.fill(a, 1, 100_000);
+        assert!(m.rss_bytes() >= 100_000);
+        m.free(a);
+        assert!(vm.rss_bytes() < 4096 * 2, "large free unmaps its pages");
+    }
+
+    #[test]
+    fn empty_spans_are_released() {
+        let vm = VirtualMemory::shared(4096);
+        let mut m = MeshAllocator::new(vm.clone());
+        let mut ptrs = Vec::new();
+        for _ in 0..64 {
+            let p = m.alloc(64).unwrap();
+            vm.fill(p, 2, 64);
+            ptrs.push(p);
+        }
+        assert!(m.rss_bytes() > 0);
+        for p in ptrs {
+            m.free(p);
+        }
+        assert_eq!(m.rss_bytes(), 0, "all spans empty -> all pages released");
+    }
+
+    #[test]
+    fn meshing_reduces_rss_of_sparse_spans() {
+        let vm = VirtualMemory::shared(4096);
+        let mut m = MeshAllocator::new(vm.clone());
+        // Fill many spans of the 256-byte class, then free most objects so the
+        // surviving ones are scattered sparsely across spans.
+        let mut ptrs = Vec::new();
+        for _ in 0..16 * 64 {
+            let p = m.alloc(200).unwrap();
+            vm.fill(p, 3, 200);
+            ptrs.push(p);
+        }
+        for (i, p) in ptrs.iter().enumerate() {
+            if i % 8 != 0 {
+                m.free(*p);
+            }
+        }
+        let before = m.rss_bytes();
+        let saved = m.reclaim(None);
+        let after = m.rss_bytes();
+        assert!(saved > 0, "sparse disjoint spans should mesh");
+        assert_eq!(before - saved, after);
+        // Survivors still readable.
+        for (i, p) in ptrs.iter().enumerate() {
+            if i % 8 == 0 {
+                assert_eq!(vm.read_u8(*p), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn meshed_pair_fully_freed_releases_saving() {
+        let vm = VirtualMemory::shared(4096);
+        let mut m = MeshAllocator::new(vm.clone());
+        let mut ptrs = Vec::new();
+        for _ in 0..256 {
+            ptrs.push(m.alloc(500).unwrap());
+        }
+        for p in &ptrs {
+            vm.fill(*p, 1, 500);
+        }
+        // Free 7 of every 8 so meshing has material to work with.
+        let mut survivors = Vec::new();
+        for (i, p) in ptrs.iter().enumerate() {
+            if i % 8 != 0 {
+                m.free(*p);
+            } else {
+                survivors.push(*p);
+            }
+        }
+        m.reclaim(None);
+        let meshes = m.active_meshes();
+        for p in survivors {
+            m.free(p);
+        }
+        assert_eq!(m.stats().live_objects, 0);
+        assert!(m.active_meshes() <= meshes);
+        assert_eq!(m.rss_bytes(), 0, "everything freed -> no resident memory");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-live")]
+    fn free_of_wild_pointer_panics() {
+        let mut m = new_mesh();
+        m.free(VirtAddr(0xdead_beef));
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let mut m = new_mesh();
+        let a = m.alloc(10).unwrap();
+        let b = m.alloc(20).unwrap();
+        assert_eq!(m.stats().live_objects, 2);
+        assert_eq!(m.stats().live_bytes, 30);
+        m.free(a);
+        m.free(b);
+        assert_eq!(m.stats().live_objects, 0);
+        assert_eq!(m.stats().total_allocations, 2);
+        assert_eq!(m.stats().total_frees, 2);
+    }
+}

@@ -1,0 +1,491 @@
+//! A simulated 64-bit virtual address space with page-granular residency.
+//!
+//! The paper measures fragmentation via resident set size (RSS): physical pages
+//! a process actually occupies.  We model exactly the mechanisms that determine
+//! RSS for a user-space heap:
+//!
+//! * `mmap`-style *reservations* ([`VirtualMemory::map`]) cost nothing until
+//!   touched (demand paging),
+//! * the first write to a page *commits* it (allocates backing storage),
+//! * [`VirtualMemory::madvise_dontneed`] decommits whole pages, returning them
+//!   to the "kernel" — subsequent reads see zeroes again, exactly like
+//!   `MADV_DONTNEED`,
+//! * RSS is the number of committed pages times the page size.
+//!
+//! Addresses are plain `u64`s wrapped in [`VirtAddr`]; address 0 is never
+//! handed out so it can serve as a null pointer in the workloads and the IR
+//! interpreter.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Default page size used throughout the reproduction (matches x86-64 base pages).
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+/// Base address of the first mapping.  Chosen to be comfortably above zero so
+/// small integers are never valid addresses, and below 2^63 so the top bit is
+/// free for Alaska's handle flag.
+const MAP_BASE: u64 = 0x0000_1000_0000;
+
+/// A virtual address inside a [`VirtualMemory`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// The null address.
+    pub const NULL: VirtAddr = VirtAddr(0);
+
+    /// Whether this is the null address.
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Address `offset` bytes past `self`.
+    pub fn add(self, offset: u64) -> VirtAddr {
+        VirtAddr(self.0 + offset)
+    }
+
+    /// Byte distance from `other` to `self` (must not underflow).
+    pub fn offset_from(self, other: VirtAddr) -> u64 {
+        self.0 - other.0
+    }
+}
+
+impl fmt::Debug for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VirtAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(v: u64) -> Self {
+        VirtAddr(v)
+    }
+}
+
+impl From<VirtAddr> for u64 {
+    fn from(v: VirtAddr) -> Self {
+        v.0
+    }
+}
+
+/// A reserved region of address space.
+#[derive(Debug, Clone, Copy)]
+struct Mapping {
+    base: u64,
+    len: u64,
+}
+
+/// Counters describing the state of a [`VirtualMemory`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Bytes of address space currently reserved via [`VirtualMemory::map`].
+    pub mapped_bytes: u64,
+    /// Bytes currently resident (committed pages × page size).
+    pub rss_bytes: u64,
+    /// High-water mark of [`VmStats::rss_bytes`] over the lifetime of the space.
+    pub peak_rss_bytes: u64,
+    /// Number of pages ever committed (page faults served).
+    pub pages_committed_total: u64,
+    /// Number of pages decommitted via `madvise_dontneed`.
+    pub pages_decommitted_total: u64,
+    /// Number of `madvise_dontneed` calls (each may trigger TLB shootdowns).
+    pub madvise_calls: u64,
+}
+
+struct Inner {
+    page_size: usize,
+    pages: BTreeMap<u64, Box<[u8]>>,
+    mappings: Vec<Mapping>,
+    next_map: u64,
+    stats: VmStats,
+}
+
+impl Inner {
+    fn page_index(&self, addr: u64) -> u64 {
+        addr / self.page_size as u64
+    }
+
+    fn commit(&mut self, page: u64) -> &mut Box<[u8]> {
+        let page_size = self.page_size;
+        if !self.pages.contains_key(&page) {
+            self.pages
+                .insert(page, vec![0u8; page_size].into_boxed_slice());
+            self.stats.pages_committed_total += 1;
+            self.stats.rss_bytes = self.pages.len() as u64 * page_size as u64;
+            self.stats.peak_rss_bytes = self.stats.peak_rss_bytes.max(self.stats.rss_bytes);
+        }
+        self.pages.get_mut(&page).expect("page just committed")
+    }
+}
+
+/// A shared, thread-safe simulated virtual address space.
+///
+/// Cloning is cheap (`Arc`); all clones observe the same memory.
+#[derive(Clone)]
+pub struct VirtualMemory {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl fmt::Debug for VirtualMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.stats();
+        f.debug_struct("VirtualMemory")
+            .field("mapped_bytes", &st.mapped_bytes)
+            .field("rss_bytes", &st.rss_bytes)
+            .finish()
+    }
+}
+
+impl Default for VirtualMemory {
+    fn default() -> Self {
+        Self::shared(DEFAULT_PAGE_SIZE)
+    }
+}
+
+impl VirtualMemory {
+    /// Create a new address space with the given page size (must be a power of
+    /// two, at least 64 bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is not a power of two or is smaller than 64.
+    pub fn shared(page_size: usize) -> Self {
+        assert!(
+            page_size.is_power_of_two() && page_size >= 64,
+            "page size must be a power of two >= 64, got {page_size}"
+        );
+        VirtualMemory {
+            inner: Arc::new(Mutex::new(Inner {
+                page_size,
+                pages: BTreeMap::new(),
+                mappings: Vec::new(),
+                next_map: MAP_BASE,
+                stats: VmStats::default(),
+            })),
+        }
+    }
+
+    /// The page size of this address space.
+    pub fn page_size(&self) -> usize {
+        self.inner.lock().page_size
+    }
+
+    /// Reserve `len` bytes of address space (rounded up to whole pages).
+    ///
+    /// The reservation costs no resident memory until written.  Returns the
+    /// base address of the mapping.
+    pub fn map(&self, len: u64) -> VirtAddr {
+        let mut g = self.inner.lock();
+        let page = g.page_size as u64;
+        let len = super::align_up(len.max(1), page);
+        let base = g.next_map;
+        // Leave an unmapped guard page between mappings to catch overruns.
+        g.next_map = base + len + page;
+        g.mappings.push(Mapping { base, len });
+        g.stats.mapped_bytes += len;
+        VirtAddr(base)
+    }
+
+    /// Release a mapping created by [`VirtualMemory::map`], decommitting all of
+    /// its pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not the base of a live mapping.
+    pub fn unmap(&self, base: VirtAddr) {
+        let mut g = self.inner.lock();
+        let idx = g
+            .mappings
+            .iter()
+            .position(|m| m.base == base.0)
+            .unwrap_or_else(|| panic!("unmap of unknown mapping {base}"));
+        let m = g.mappings.swap_remove(idx);
+        g.stats.mapped_bytes -= m.len;
+        let page = g.page_size as u64;
+        let first = m.base / page;
+        let last = (m.base + m.len - 1) / page;
+        for p in first..=last {
+            if g.pages.remove(&p).is_some() {
+                g.stats.pages_decommitted_total += 1;
+            }
+        }
+        let pslen = g.pages.len() as u64;
+        g.stats.rss_bytes = pslen * page;
+    }
+
+    /// Total resident bytes (committed pages × page size).
+    pub fn rss_bytes(&self) -> u64 {
+        self.inner.lock().stats.rss_bytes
+    }
+
+    /// Snapshot of the address-space statistics.
+    pub fn stats(&self) -> VmStats {
+        self.inner.lock().stats
+    }
+
+    /// Decommit all pages that lie *entirely* inside `[addr, addr+len)`,
+    /// mirroring `madvise(MADV_DONTNEED)`: partial pages at the edges stay
+    /// resident, decommitted pages read back as zeroes.
+    ///
+    /// Returns the number of bytes released.
+    pub fn madvise_dontneed(&self, addr: VirtAddr, len: u64) -> u64 {
+        let mut g = self.inner.lock();
+        g.stats.madvise_calls += 1;
+        if len == 0 {
+            return 0;
+        }
+        let page = g.page_size as u64;
+        let start = super::align_up(addr.0, page) / page;
+        let end_excl = (addr.0 + len) / page; // first page NOT fully covered
+        let mut released = 0u64;
+        for p in start..end_excl {
+            if g.pages.remove(&p).is_some() {
+                released += page;
+                g.stats.pages_decommitted_total += 1;
+            }
+        }
+        let pslen = g.pages.len() as u64;
+        g.stats.rss_bytes = pslen * page;
+        released
+    }
+
+    /// Write `bytes` starting at `addr`, committing pages as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write targets the null page.
+    pub fn write_bytes(&self, addr: VirtAddr, bytes: &[u8]) {
+        assert!(!addr.is_null(), "write to null address");
+        if bytes.is_empty() {
+            return;
+        }
+        let mut g = self.inner.lock();
+        let page_size = g.page_size as u64;
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let a = addr.0 + pos as u64;
+            let page = g.page_index(a);
+            let off = (a % page_size) as usize;
+            let n = ((page_size as usize) - off).min(bytes.len() - pos);
+            let data = g.commit(page);
+            data[off..off + n].copy_from_slice(&bytes[pos..pos + n]);
+            pos += n;
+        }
+    }
+
+    /// Read `len` bytes starting at `addr` into a fresh vector.  Uncommitted
+    /// pages read as zeroes (demand-zero semantics).
+    pub fn read_vec(&self, addr: VirtAddr, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        self.read_bytes(addr, &mut out);
+        out
+    }
+
+    /// Read into `out` starting at `addr`.  Uncommitted pages read as zeroes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is null and `out` is non-empty.
+    pub fn read_bytes(&self, addr: VirtAddr, out: &mut [u8]) {
+        if out.is_empty() {
+            return;
+        }
+        assert!(!addr.is_null(), "read from null address");
+        let g = self.inner.lock();
+        let page_size = g.page_size as u64;
+        let mut pos = 0usize;
+        while pos < out.len() {
+            let a = addr.0 + pos as u64;
+            let page = a / page_size;
+            let off = (a % page_size) as usize;
+            let n = ((page_size as usize) - off).min(out.len() - pos);
+            match g.pages.get(&page) {
+                Some(data) => out[pos..pos + n].copy_from_slice(&data[off..off + n]),
+                None => out[pos..pos + n].fill(0),
+            }
+            pos += n;
+        }
+    }
+
+    /// Write a little-endian `u64` at `addr`.
+    pub fn write_u64(&self, addr: VirtAddr, value: u64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Read a little-endian `u64` at `addr`.
+    pub fn read_u64(&self, addr: VirtAddr) -> u64 {
+        let mut buf = [0u8; 8];
+        self.read_bytes(addr, &mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Write a single byte.
+    pub fn write_u8(&self, addr: VirtAddr, value: u8) {
+        self.write_bytes(addr, &[value]);
+    }
+
+    /// Read a single byte.
+    pub fn read_u8(&self, addr: VirtAddr) -> u8 {
+        let mut b = [0u8; 1];
+        self.read_bytes(addr, &mut b);
+        b[0]
+    }
+
+    /// Copy `len` bytes from `src` to `dst` (regions may not overlap in a way
+    /// that matters: the copy goes through a temporary buffer, i.e. `memmove`
+    /// semantics).
+    pub fn copy(&self, src: VirtAddr, dst: VirtAddr, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let tmp = self.read_vec(src, len);
+        self.write_bytes(dst, &tmp);
+    }
+
+    /// Fill `len` bytes at `addr` with `value`.
+    pub fn fill(&self, addr: VirtAddr, value: u8, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let buf = vec![value; len];
+        self.write_bytes(addr, &buf);
+    }
+
+    /// Number of currently committed (resident) pages.
+    pub fn resident_pages(&self) -> u64 {
+        self.inner.lock().pages.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_is_lazily_committed() {
+        let vm = VirtualMemory::shared(4096);
+        let base = vm.map(1 << 20);
+        assert_eq!(vm.rss_bytes(), 0, "mapping alone must not commit pages");
+        vm.write_u64(base, 42);
+        assert_eq!(vm.rss_bytes(), 4096);
+        assert_eq!(vm.read_u64(base), 42);
+    }
+
+    #[test]
+    fn reads_of_untouched_pages_are_zero() {
+        let vm = VirtualMemory::shared(4096);
+        let base = vm.map(8192);
+        assert_eq!(vm.read_u64(base.add(4096)), 0);
+        assert_eq!(vm.rss_bytes(), 0, "reads must not commit pages");
+    }
+
+    #[test]
+    fn writes_span_page_boundaries() {
+        let vm = VirtualMemory::shared(4096);
+        let base = vm.map(8192);
+        let addr = base.add(4090);
+        let data: Vec<u8> = (0..16u8).collect();
+        vm.write_bytes(addr, &data);
+        assert_eq!(vm.read_vec(addr, 16), data);
+        assert_eq!(vm.rss_bytes(), 8192, "write across boundary commits both pages");
+    }
+
+    #[test]
+    fn madvise_releases_only_fully_covered_pages() {
+        let vm = VirtualMemory::shared(4096);
+        let base = vm.map(4096 * 4);
+        vm.fill(base, 0xAB, 4096 * 4);
+        assert_eq!(vm.rss_bytes(), 4096 * 4);
+        // Range starts 100 bytes into page 0 and ends 100 bytes into page 3:
+        // only pages 1 and 2 are fully covered.
+        let released = vm.madvise_dontneed(base.add(100), 4096 * 3);
+        assert_eq!(released, 4096 * 2);
+        assert_eq!(vm.rss_bytes(), 4096 * 2);
+        // Released pages read back as zero, retained pages keep data.
+        assert_eq!(vm.read_u8(base.add(4096)), 0);
+        assert_eq!(vm.read_u8(base), 0xAB);
+        assert_eq!(vm.read_u8(base.add(4096 * 3)), 0xAB);
+    }
+
+    #[test]
+    fn madvise_then_rewrite_recommits() {
+        let vm = VirtualMemory::shared(4096);
+        let base = vm.map(4096);
+        vm.write_u64(base, 7);
+        vm.madvise_dontneed(base, 4096);
+        assert_eq!(vm.rss_bytes(), 0);
+        vm.write_u64(base, 9);
+        assert_eq!(vm.rss_bytes(), 4096);
+        assert_eq!(vm.read_u64(base), 9);
+    }
+
+    #[test]
+    fn unmap_releases_everything() {
+        let vm = VirtualMemory::shared(4096);
+        let a = vm.map(4096 * 8);
+        vm.fill(a, 1, 4096 * 8);
+        let b = vm.map(4096);
+        vm.write_u8(b, 2);
+        assert_eq!(vm.rss_bytes(), 4096 * 9);
+        vm.unmap(a);
+        assert_eq!(vm.rss_bytes(), 4096);
+        assert_eq!(vm.stats().mapped_bytes, 4096);
+    }
+
+    #[test]
+    fn mappings_do_not_overlap() {
+        let vm = VirtualMemory::shared(4096);
+        let a = vm.map(10_000);
+        let b = vm.map(10_000);
+        assert!(b.0 >= a.0 + 10_000, "second mapping must start after the first");
+    }
+
+    #[test]
+    fn peak_rss_tracks_high_water_mark() {
+        let vm = VirtualMemory::shared(4096);
+        let a = vm.map(4096 * 10);
+        vm.fill(a, 3, 4096 * 10);
+        vm.madvise_dontneed(a, 4096 * 10);
+        let st = vm.stats();
+        assert_eq!(st.rss_bytes, 0);
+        assert_eq!(st.peak_rss_bytes, 4096 * 10);
+        assert_eq!(st.madvise_calls, 1);
+    }
+
+    #[test]
+    fn copy_moves_object_contents() {
+        let vm = VirtualMemory::shared(4096);
+        let a = vm.map(4096 * 2);
+        let payload: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        vm.write_bytes(a, &payload);
+        let dst = a.add(4096);
+        vm.copy(a, dst, 1000);
+        assert_eq!(vm.read_vec(dst, 1000), payload);
+    }
+
+    #[test]
+    #[should_panic(expected = "null")]
+    fn write_to_null_panics() {
+        let vm = VirtualMemory::shared(4096);
+        vm.write_u8(VirtAddr::NULL, 1);
+    }
+
+    #[test]
+    fn clones_share_memory() {
+        let vm = VirtualMemory::shared(4096);
+        let vm2 = vm.clone();
+        let a = vm.map(4096);
+        vm2.write_u64(a, 123);
+        assert_eq!(vm.read_u64(a), 123);
+        assert_eq!(vm.rss_bytes(), vm2.rss_bytes());
+    }
+}

@@ -1,0 +1,130 @@
+//! Control-flow graph construction and traversal orders.
+
+use crate::module::{BasicBlockId, Function};
+use std::collections::{HashMap, HashSet};
+
+/// Successor/predecessor relation over a function's basic blocks.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successors of each block.
+    pub successors: HashMap<BasicBlockId, Vec<BasicBlockId>>,
+    /// Predecessors of each block.
+    pub predecessors: HashMap<BasicBlockId, Vec<BasicBlockId>>,
+    /// Blocks in reverse post-order from the entry (unreachable blocks omitted).
+    pub reverse_post_order: Vec<BasicBlockId>,
+}
+
+impl Cfg {
+    /// Build the CFG of `f`.
+    pub fn build(f: &Function) -> Cfg {
+        let mut successors: HashMap<BasicBlockId, Vec<BasicBlockId>> = HashMap::new();
+        let mut predecessors: HashMap<BasicBlockId, Vec<BasicBlockId>> = HashMap::new();
+        for bb in f.block_ids() {
+            successors.entry(bb).or_default();
+            predecessors.entry(bb).or_default();
+        }
+        for bb in f.block_ids() {
+            if let Some(t) = &f.block(bb).terminator {
+                for s in t.successors() {
+                    successors.get_mut(&bb).unwrap().push(s);
+                    predecessors.get_mut(&s).unwrap().push(bb);
+                }
+            }
+        }
+        // Post-order DFS from the entry.
+        let mut visited = HashSet::new();
+        let mut post = Vec::new();
+        fn dfs(
+            bb: BasicBlockId,
+            succ: &HashMap<BasicBlockId, Vec<BasicBlockId>>,
+            visited: &mut HashSet<BasicBlockId>,
+            post: &mut Vec<BasicBlockId>,
+        ) {
+            if !visited.insert(bb) {
+                return;
+            }
+            for &s in &succ[&bb] {
+                dfs(s, succ, visited, post);
+            }
+            post.push(bb);
+        }
+        dfs(f.entry, &successors, &mut visited, &mut post);
+        post.reverse();
+        Cfg { successors, predecessors, reverse_post_order: post }
+    }
+
+    /// Successors of `bb`.
+    pub fn succs(&self, bb: BasicBlockId) -> &[BasicBlockId] {
+        &self.successors[&bb]
+    }
+
+    /// Predecessors of `bb`.
+    pub fn preds(&self, bb: BasicBlockId) -> &[BasicBlockId] {
+        &self.predecessors[&bb]
+    }
+
+    /// Whether `bb` is reachable from the entry.
+    pub fn is_reachable(&self, bb: BasicBlockId) -> bool {
+        self.reverse_post_order.contains(&bb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{BinOp, CmpOp, FunctionBuilder, Operand};
+
+    /// entry -> loop_header -> (body -> loop_header | exit)
+    fn loopy() -> crate::module::Function {
+        let mut b = FunctionBuilder::new("loopy", 1);
+        let entry = b.entry_block();
+        let header = b.add_block("header");
+        let body = b.add_block("body");
+        let exit = b.add_block("exit");
+        b.br(entry, header);
+        let i = b.phi(header);
+        b.add_phi_incoming(i, entry, Operand::Const(0));
+        let cond = b.cmp(header, CmpOp::Lt, Operand::Value(i), Operand::Param(0));
+        b.cond_br(header, Operand::Value(cond), body, exit);
+        let next = b.binop(body, BinOp::Add, Operand::Value(i), Operand::Const(1));
+        b.add_phi_incoming(i, body, Operand::Value(next));
+        b.br(body, header);
+        b.ret(exit, Some(Operand::Value(i)));
+        b.finish()
+    }
+
+    #[test]
+    fn successors_and_predecessors_match() {
+        let f = loopy();
+        let cfg = Cfg::build(&f);
+        let header = BasicBlockId(1);
+        let body = BasicBlockId(2);
+        let exit = BasicBlockId(3);
+        assert_eq!(cfg.succs(f.entry), &[header]);
+        assert_eq!(cfg.succs(header), &[body, exit]);
+        assert_eq!(cfg.preds(header).len(), 2, "entry and body reach the header");
+        assert_eq!(cfg.preds(exit), &[header]);
+    }
+
+    #[test]
+    fn reverse_post_order_starts_at_entry() {
+        let f = loopy();
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.reverse_post_order[0], f.entry);
+        assert_eq!(cfg.reverse_post_order.len(), 4);
+        assert!(cfg.is_reachable(BasicBlockId(3)));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_flagged() {
+        let mut b = FunctionBuilder::new("dead", 0);
+        let entry = b.entry_block();
+        let dead = b.add_block("dead");
+        b.ret(entry, None);
+        b.ret(dead, None);
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        assert!(!cfg.is_reachable(dead));
+        assert!(cfg.is_reachable(entry));
+    }
+}

@@ -1,0 +1,174 @@
+//! Dominator tree construction (Cooper–Harvey–Kennedy iterative algorithm).
+//!
+//! Algorithm 1 in the paper operates on "a dominator forest" of the pointer
+//! flow graph; that forest is derived from the standard block dominator tree
+//! computed here.
+
+use crate::cfg::Cfg;
+use crate::module::{BasicBlockId, Function};
+use std::collections::HashMap;
+
+/// The dominator tree of a function.
+#[derive(Debug, Clone)]
+pub struct DominatorTree {
+    /// Immediate dominator of each reachable block (the entry maps to itself).
+    pub idom: HashMap<BasicBlockId, BasicBlockId>,
+    /// Entry block.
+    pub entry: BasicBlockId,
+    /// Reverse post-order used during construction (reachable blocks only).
+    rpo_index: HashMap<BasicBlockId, usize>,
+}
+
+impl DominatorTree {
+    /// Compute the dominator tree of `f` using `cfg`.
+    pub fn build(f: &Function, cfg: &Cfg) -> DominatorTree {
+        let rpo = &cfg.reverse_post_order;
+        let rpo_index: HashMap<BasicBlockId, usize> =
+            rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        let mut idom: HashMap<BasicBlockId, BasicBlockId> = HashMap::new();
+        idom.insert(f.entry, f.entry);
+
+        let intersect = |idom: &HashMap<BasicBlockId, BasicBlockId>,
+                         rpo_index: &HashMap<BasicBlockId, usize>,
+                         mut a: BasicBlockId,
+                         mut b: BasicBlockId| {
+            while a != b {
+                while rpo_index[&a] > rpo_index[&b] {
+                    a = idom[&a];
+                }
+                while rpo_index[&b] > rpo_index[&a] {
+                    b = idom[&b];
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &bb in rpo.iter().skip(1) {
+                let mut new_idom: Option<BasicBlockId> = None;
+                for &p in cfg.preds(bb) {
+                    if !rpo_index.contains_key(&p) {
+                        continue; // unreachable predecessor
+                    }
+                    if idom.contains_key(&p) {
+                        new_idom = Some(match new_idom {
+                            None => p,
+                            Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                        });
+                    }
+                }
+                if let Some(ni) = new_idom {
+                    if idom.get(&bb) != Some(&ni) {
+                        idom.insert(bb, ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DominatorTree { idom, entry: f.entry, rpo_index }
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BasicBlockId, b: BasicBlockId) -> bool {
+        if !self.rpo_index.contains_key(&b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let next = match self.idom.get(&cur) {
+                Some(&n) => n,
+                None => return false,
+            };
+            if next == cur {
+                return cur == a;
+            }
+            cur = next;
+        }
+    }
+
+    /// Immediate dominator of `b` (none for the entry or unreachable blocks).
+    pub fn immediate_dominator(&self, b: BasicBlockId) -> Option<BasicBlockId> {
+        if b == self.entry {
+            return None;
+        }
+        self.idom.get(&b).copied()
+    }
+
+    /// Whether block `b` is reachable (has dominator information).
+    pub fn is_reachable(&self, b: BasicBlockId) -> bool {
+        self.rpo_index.contains_key(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{CmpOp, FunctionBuilder, Operand};
+
+    /// Diamond: entry -> {left, right} -> merge
+    fn diamond() -> crate::module::Function {
+        let mut b = FunctionBuilder::new("diamond", 1);
+        let entry = b.entry_block();
+        let left = b.add_block("left");
+        let right = b.add_block("right");
+        let merge = b.add_block("merge");
+        let c = b.cmp(entry, CmpOp::Gt, Operand::Param(0), Operand::Const(0));
+        b.cond_br(entry, Operand::Value(c), left, right);
+        b.br(left, merge);
+        b.br(right, merge);
+        b.ret(merge, None);
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        let dt = DominatorTree::build(&f, &cfg);
+        let (entry, left, right, merge) =
+            (BasicBlockId(0), BasicBlockId(1), BasicBlockId(2), BasicBlockId(3));
+        assert!(dt.dominates(entry, merge));
+        assert!(dt.dominates(entry, left));
+        assert!(!dt.dominates(left, merge), "merge is reached around left via right");
+        assert!(!dt.dominates(right, merge));
+        assert_eq!(dt.immediate_dominator(merge), Some(entry));
+        assert_eq!(dt.immediate_dominator(entry), None);
+    }
+
+    #[test]
+    fn dominance_is_reflexive_and_transitive() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        let dt = DominatorTree::build(&f, &cfg);
+        for bb in f.block_ids() {
+            assert!(dt.dominates(bb, bb));
+            assert!(dt.dominates(f.entry, bb));
+        }
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        // entry -> header -> {body -> header, exit}
+        let mut b = FunctionBuilder::new("l", 1);
+        let entry = b.entry_block();
+        let header = b.add_block("header");
+        let body = b.add_block("body");
+        let exit = b.add_block("exit");
+        b.br(entry, header);
+        let c = b.cmp(header, CmpOp::Lt, Operand::Const(0), Operand::Param(0));
+        b.cond_br(header, Operand::Value(c), body, exit);
+        b.br(body, header);
+        b.ret(exit, None);
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let dt = DominatorTree::build(&f, &cfg);
+        assert!(dt.dominates(header, body));
+        assert!(dt.dominates(header, exit));
+        assert!(!dt.dominates(body, exit));
+    }
+}

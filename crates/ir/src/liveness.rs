@@ -1,0 +1,222 @@
+//! Liveness analysis.
+//!
+//! The Alaska compiler uses liveness for two purposes (paper §4.1.2–§4.1.3):
+//! releases are inserted at the end of each translation's live range, and the
+//! pin-set sizing pass builds an interference graph over translation live
+//! ranges to assign frame slots with a register-allocation-style greedy
+//! colouring.  This module provides classic backward block-level liveness
+//! (live-in/live-out sets) plus a per-instruction "last use" query within a
+//! block.
+
+use crate::cfg::Cfg;
+use crate::module::{BasicBlockId, Function, Operand, ValueId};
+use std::collections::{HashMap, HashSet};
+
+/// Block-level liveness sets for a function.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Values live on entry to each block.
+    pub live_in: HashMap<BasicBlockId, HashSet<ValueId>>,
+    /// Values live on exit from each block.
+    pub live_out: HashMap<BasicBlockId, HashSet<ValueId>>,
+}
+
+fn uses_of(f: &Function, bb: BasicBlockId) -> Vec<(usize, Vec<ValueId>)> {
+    let block = f.block(bb);
+    let mut out = Vec::with_capacity(block.insts.len() + 1);
+    for (i, &v) in block.insts.iter().enumerate() {
+        let used: Vec<ValueId> = f
+            .inst(v)
+            .operands()
+            .into_iter()
+            .filter_map(|o| match o {
+                Operand::Value(u) => Some(u),
+                _ => None,
+            })
+            .collect();
+        out.push((i, used));
+    }
+    if let Some(t) = &block.terminator {
+        let used: Vec<ValueId> = t
+            .operands()
+            .into_iter()
+            .filter_map(|o| match o {
+                Operand::Value(u) => Some(u),
+                _ => None,
+            })
+            .collect();
+        out.push((block.insts.len(), used));
+    }
+    out
+}
+
+impl Liveness {
+    /// Compute block-level liveness for `f`.
+    pub fn build(f: &Function, cfg: &Cfg) -> Liveness {
+        // Per-block use/def sets.  Phi uses are attributed to the predecessor
+        // edge (standard SSA treatment): a phi's operand is live-out of the
+        // corresponding predecessor, not live-in of the phi's block.
+        let mut use_set: HashMap<BasicBlockId, HashSet<ValueId>> = HashMap::new();
+        let mut def_set: HashMap<BasicBlockId, HashSet<ValueId>> = HashMap::new();
+        let mut phi_uses: HashMap<BasicBlockId, HashSet<ValueId>> = HashMap::new(); // pred -> values
+
+        for bb in f.block_ids() {
+            let mut uses = HashSet::new();
+            let mut defs = HashSet::new();
+            for &v in &f.block(bb).insts {
+                match f.inst(v) {
+                    crate::module::Instruction::Phi { incomings } => {
+                        for (pred, op) in incomings {
+                            if let Operand::Value(u) = op {
+                                phi_uses.entry(*pred).or_default().insert(*u);
+                            }
+                        }
+                    }
+                    inst => {
+                        for op in inst.operands() {
+                            if let Operand::Value(u) = op {
+                                if !defs.contains(&u) {
+                                    uses.insert(u);
+                                }
+                            }
+                        }
+                    }
+                }
+                defs.insert(v);
+            }
+            if let Some(t) = &f.block(bb).terminator {
+                for op in t.operands() {
+                    if let Operand::Value(u) = op {
+                        if !defs.contains(&u) {
+                            uses.insert(u);
+                        }
+                    }
+                }
+            }
+            use_set.insert(bb, uses);
+            def_set.insert(bb, defs);
+        }
+
+        let mut live_in: HashMap<BasicBlockId, HashSet<ValueId>> =
+            f.block_ids().map(|b| (b, HashSet::new())).collect();
+        let mut live_out: HashMap<BasicBlockId, HashSet<ValueId>> =
+            f.block_ids().map(|b| (b, HashSet::new())).collect();
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &bb in cfg.reverse_post_order.iter().rev() {
+                let mut out: HashSet<ValueId> = HashSet::new();
+                for &s in cfg.succs(bb) {
+                    out.extend(live_in[&s].iter().copied());
+                }
+                if let Some(pu) = phi_uses.get(&bb) {
+                    out.extend(pu.iter().copied());
+                }
+                let mut inn: HashSet<ValueId> = use_set[&bb].clone();
+                for &v in &out {
+                    if !def_set[&bb].contains(&v) {
+                        inn.insert(v);
+                    }
+                }
+                if out != live_out[&bb] || inn != live_in[&bb] {
+                    live_out.insert(bb, out);
+                    live_in.insert(bb, inn);
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Whether `v` is live out of block `bb`.
+    pub fn is_live_out(&self, bb: BasicBlockId, v: ValueId) -> bool {
+        self.live_out.get(&bb).map(|s| s.contains(&v)).unwrap_or(false)
+    }
+
+    /// Index (within `bb`'s instruction list) just *after* the last use of `v`
+    /// in `bb`, or `None` if `v` is not used in `bb`.  The terminator counts as
+    /// index `len`.
+    pub fn last_use_in_block(&self, f: &Function, bb: BasicBlockId, v: ValueId) -> Option<usize> {
+        uses_of(f, bb)
+            .into_iter()
+            .filter(|(_, used)| used.contains(&v))
+            .map(|(i, _)| i + 1)
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{BinOp, CmpOp, FunctionBuilder, Operand};
+
+    /// A loop where `p` (param 0's translate stand-in) is used inside the body.
+    fn loop_using_value() -> (crate::module::Function, ValueId) {
+        let mut b = FunctionBuilder::new("f", 2);
+        let entry = b.entry_block();
+        let header = b.add_block("header");
+        let body = b.add_block("body");
+        let exit = b.add_block("exit");
+        // v is defined in the entry and used in the loop body.
+        let v = b.binop(entry, BinOp::Add, Operand::Param(0), Operand::Const(0));
+        b.br(entry, header);
+        let i = b.phi(header);
+        b.add_phi_incoming(i, entry, Operand::Const(0));
+        let c = b.cmp(header, CmpOp::Lt, Operand::Value(i), Operand::Param(1));
+        b.cond_br(header, Operand::Value(c), body, exit);
+        let use_v = b.binop(body, BinOp::Add, Operand::Value(v), Operand::Value(i));
+        b.add_phi_incoming(i, body, Operand::Value(use_v));
+        b.br(body, header);
+        b.ret(exit, Some(Operand::Value(i)));
+        (b.finish(), v)
+    }
+
+    #[test]
+    fn value_used_in_loop_is_live_through_the_loop() {
+        let (f, v) = loop_using_value();
+        let cfg = Cfg::build(&f);
+        let lv = Liveness::build(&f, &cfg);
+        let header = BasicBlockId(1);
+        let body = BasicBlockId(2);
+        let exit = BasicBlockId(3);
+        assert!(lv.live_in[&header].contains(&v));
+        assert!(lv.live_in[&body].contains(&v));
+        assert!(lv.is_live_out(f.entry, v));
+        assert!(!lv.live_in[&exit].contains(&v), "v is dead after the loop");
+    }
+
+    #[test]
+    fn dead_values_are_not_live_anywhere() {
+        let mut b = FunctionBuilder::new("dead", 0);
+        let entry = b.entry_block();
+        let dead = b.binop(entry, BinOp::Add, Operand::Const(1), Operand::Const(2));
+        b.ret(entry, None);
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let lv = Liveness::build(&f, &cfg);
+        assert!(!lv.live_out[&entry].contains(&dead));
+        assert!(!lv.live_in[&entry].contains(&dead));
+    }
+
+    #[test]
+    fn phi_operands_are_live_out_of_predecessors() {
+        let (f, _v) = loop_using_value();
+        let cfg = Cfg::build(&f);
+        let lv = Liveness::build(&f, &cfg);
+        // The increment feeding the phi along the back edge is live out of the body.
+        let body = BasicBlockId(2);
+        let inc = *f.block(body).insts.last().unwrap();
+        assert!(lv.live_out[&body].contains(&inc));
+    }
+
+    #[test]
+    fn last_use_position_is_after_the_final_use() {
+        let (f, v) = loop_using_value();
+        let lv = Liveness::build(&f, &Cfg::build(&f));
+        let body = BasicBlockId(2);
+        let pos = lv.last_use_in_block(&f, body, v).unwrap();
+        assert_eq!(pos, 1, "single use at index 0, so the range ends at 1");
+        assert!(lv.last_use_in_block(&f, BasicBlockId(3), v).is_none());
+    }
+}

@@ -1,0 +1,254 @@
+//! Natural-loop detection and the loop nesting tree.
+//!
+//! The translation-insertion algorithm (paper Algorithm 1) hoists translations
+//! to the preheader of the outermost loop that contains the use but not the
+//! definition of the pointer.  The safepoint pass also needs loop back-edges
+//! (polls are placed there).  Both are derived from the natural loops found
+//! here: a back edge `u -> h` where `h` dominates `u` defines a loop with
+//! header `h` whose body is every block that can reach `u` without passing
+//! through `h`.
+
+use crate::cfg::Cfg;
+use crate::dom::DominatorTree;
+use crate::module::{BasicBlockId, Function};
+use std::collections::{HashMap, HashSet};
+
+/// A single natural loop.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// The loop header.
+    pub header: BasicBlockId,
+    /// All blocks in the loop (header included).
+    pub blocks: HashSet<BasicBlockId>,
+    /// Blocks with a back edge to the header.
+    pub latches: Vec<BasicBlockId>,
+    /// Index of the enclosing loop in [`LoopForest::loops`], if any.
+    pub parent: Option<usize>,
+    /// Nesting depth (1 = outermost).
+    pub depth: usize,
+}
+
+/// All loops of a function plus a block → innermost-loop map.
+#[derive(Debug, Clone, Default)]
+pub struct LoopForest {
+    /// Loops, outer loops before inner ones.
+    pub loops: Vec<Loop>,
+    /// Innermost loop containing each block.
+    pub innermost: HashMap<BasicBlockId, usize>,
+    /// All back edges `(latch, header)`.
+    pub back_edges: Vec<(BasicBlockId, BasicBlockId)>,
+}
+
+impl LoopForest {
+    /// Detect loops in `f`.
+    pub fn build(_f: &Function, cfg: &Cfg, dt: &DominatorTree) -> LoopForest {
+        // 1. Find back edges.
+        let mut back_edges = Vec::new();
+        for bb in &cfg.reverse_post_order {
+            for &s in cfg.succs(*bb) {
+                if dt.dominates(s, *bb) {
+                    back_edges.push((*bb, s));
+                }
+            }
+        }
+
+        // 2. For each header, collect the natural loop body (merging multiple
+        //    back edges to the same header into one loop).
+        let mut by_header: HashMap<BasicBlockId, (HashSet<BasicBlockId>, Vec<BasicBlockId>)> =
+            HashMap::new();
+        for &(latch, header) in &back_edges {
+            let entry = by_header.entry(header).or_insert_with(|| {
+                let mut s = HashSet::new();
+                s.insert(header);
+                (s, Vec::new())
+            });
+            entry.1.push(latch);
+            // Walk predecessors backwards from the latch until the header.
+            let mut stack = vec![latch];
+            while let Some(b) = stack.pop() {
+                if entry.0.insert(b) {
+                    for &p in cfg.preds(b) {
+                        if cfg.is_reachable(p) {
+                            stack.push(p);
+                        }
+                    }
+                }
+            }
+        }
+
+        // 3. Sort loops by size descending so outer loops come first, then link
+        //    parents (an outer loop strictly contains its inner loops' headers).
+        let mut loops: Vec<Loop> = by_header
+            .into_iter()
+            .map(|(header, (blocks, latches))| Loop { header, blocks, latches, parent: None, depth: 1 })
+            .collect();
+        loops.sort_by_key(|l| std::cmp::Reverse(l.blocks.len()));
+        for i in 0..loops.len() {
+            // The parent is the smallest loop that strictly contains this one.
+            let mut best: Option<usize> = None;
+            for j in 0..loops.len() {
+                if i == j {
+                    continue;
+                }
+                if loops[j].blocks.len() > loops[i].blocks.len()
+                    && loops[j].blocks.contains(&loops[i].header)
+                {
+                    best = match best {
+                        None => Some(j),
+                        Some(b) if loops[j].blocks.len() < loops[b].blocks.len() => Some(j),
+                        other => other,
+                    };
+                }
+            }
+            loops[i].parent = best;
+        }
+        for i in 0..loops.len() {
+            let mut depth = 1;
+            let mut cur = loops[i].parent;
+            while let Some(p) = cur {
+                depth += 1;
+                cur = loops[p].parent;
+            }
+            loops[i].depth = depth;
+        }
+
+        // 4. Innermost-loop map: the deepest loop containing each block.
+        let mut innermost: HashMap<BasicBlockId, usize> = HashMap::new();
+        for (i, l) in loops.iter().enumerate() {
+            for &b in &l.blocks {
+                match innermost.get(&b) {
+                    Some(&j) if loops[j].depth >= l.depth => {}
+                    _ => {
+                        innermost.insert(b, i);
+                    }
+                }
+            }
+        }
+
+        LoopForest { loops, innermost, back_edges }
+    }
+
+    /// The innermost loop containing `bb`, if any.
+    pub fn innermost_loop(&self, bb: BasicBlockId) -> Option<&Loop> {
+        self.innermost.get(&bb).map(|&i| &self.loops[i])
+    }
+
+    /// Whether `bb` is inside any loop.
+    pub fn in_loop(&self, bb: BasicBlockId) -> bool {
+        self.innermost.contains_key(&bb)
+    }
+
+    /// Loop nesting depth of `bb` (0 = not in a loop).
+    pub fn depth_of(&self, bb: BasicBlockId) -> usize {
+        self.innermost_loop(bb).map(|l| l.depth).unwrap_or(0)
+    }
+
+    /// Walk outward from the innermost loop of `use_bb` to the outermost loop
+    /// that still excludes `def_bb` (the definition of the pointer being
+    /// translated).  Returns that loop's header, which is where a hoisted
+    /// translation belongs (paper `FindNestingLoop`).  `None` when `use_bb`
+    /// is not in a loop or the innermost loop already contains `def_bb`.
+    pub fn hoist_target(&self, use_bb: BasicBlockId, def_bb: Option<BasicBlockId>) -> Option<&Loop> {
+        let mut cur = self.innermost.get(&use_bb).copied()?;
+        // The innermost loop must not contain the definition, otherwise no
+        // hoisting is possible at all.
+        let contains_def =
+            |l: &Loop| def_bb.map(|d| l.blocks.contains(&d)).unwrap_or(false);
+        if contains_def(&self.loops[cur]) {
+            return None;
+        }
+        loop {
+            match self.loops[cur].parent {
+                Some(p) if !contains_def(&self.loops[p]) => cur = p,
+                _ => return Some(&self.loops[cur]),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{BinOp, CmpOp, FunctionBuilder, Operand};
+
+    /// Nested loops:
+    /// entry -> outer_h -> inner_h -> inner_body -> inner_h | outer_latch -> outer_h | exit
+    fn nested() -> crate::module::Function {
+        let mut b = FunctionBuilder::new("nested", 1);
+        let entry = b.entry_block();
+        let outer_h = b.add_block("outer_h");
+        let inner_h = b.add_block("inner_h");
+        let inner_body = b.add_block("inner_body");
+        let outer_latch = b.add_block("outer_latch");
+        let exit = b.add_block("exit");
+        b.br(entry, outer_h);
+        let c1 = b.cmp(outer_h, CmpOp::Lt, Operand::Const(0), Operand::Param(0));
+        b.cond_br(outer_h, Operand::Value(c1), inner_h, exit);
+        let c2 = b.cmp(inner_h, CmpOp::Lt, Operand::Const(1), Operand::Param(0));
+        b.cond_br(inner_h, Operand::Value(c2), inner_body, outer_latch);
+        let _x = b.binop(inner_body, BinOp::Add, Operand::Const(1), Operand::Const(2));
+        b.br(inner_body, inner_h);
+        b.br(outer_latch, outer_h);
+        b.ret(exit, None);
+        b.finish()
+    }
+
+    fn forest(f: &crate::module::Function) -> LoopForest {
+        let cfg = Cfg::build(f);
+        let dt = DominatorTree::build(f, &cfg);
+        LoopForest::build(f, &cfg, &dt)
+    }
+
+    #[test]
+    fn finds_both_loops_with_correct_nesting() {
+        let f = nested();
+        let lf = forest(&f);
+        assert_eq!(lf.loops.len(), 2);
+        assert_eq!(lf.back_edges.len(), 2);
+        let outer = lf.loops.iter().find(|l| l.header == BasicBlockId(1)).unwrap();
+        let inner = lf.loops.iter().find(|l| l.header == BasicBlockId(2)).unwrap();
+        assert_eq!(outer.depth, 1);
+        assert_eq!(inner.depth, 2);
+        assert!(outer.blocks.contains(&BasicBlockId(2)));
+        assert!(inner.blocks.contains(&BasicBlockId(3)));
+        assert!(!inner.blocks.contains(&BasicBlockId(4)), "outer latch not in inner loop");
+    }
+
+    #[test]
+    fn innermost_lookup_prefers_deeper_loop() {
+        let f = nested();
+        let lf = forest(&f);
+        assert_eq!(lf.depth_of(BasicBlockId(3)), 2, "inner body is at depth 2");
+        assert_eq!(lf.depth_of(BasicBlockId(4)), 1, "outer latch is at depth 1");
+        assert_eq!(lf.depth_of(BasicBlockId(0)), 0, "entry is not in a loop");
+        assert!(lf.in_loop(BasicBlockId(2)));
+        assert!(!lf.in_loop(BasicBlockId(5)));
+    }
+
+    #[test]
+    fn hoist_target_walks_to_outermost_loop_excluding_definition() {
+        let f = nested();
+        let lf = forest(&f);
+        // Use in the inner body, definition outside all loops: hoist to the outer loop.
+        let target = lf.hoist_target(BasicBlockId(3), Some(BasicBlockId(0))).unwrap();
+        assert_eq!(target.header, BasicBlockId(1));
+        // Definition inside the outer loop but not the inner one: hoist only out of the inner loop.
+        let target = lf.hoist_target(BasicBlockId(3), Some(BasicBlockId(4))).unwrap();
+        assert_eq!(target.header, BasicBlockId(2));
+        // Definition inside the innermost loop: nothing to hoist.
+        assert!(lf.hoist_target(BasicBlockId(3), Some(BasicBlockId(3))).is_none());
+        // Use outside any loop: nothing to hoist.
+        assert!(lf.hoist_target(BasicBlockId(5), Some(BasicBlockId(0))).is_none());
+    }
+
+    #[test]
+    fn straight_line_code_has_no_loops() {
+        let mut b = FunctionBuilder::new("straight", 0);
+        let entry = b.entry_block();
+        b.ret(entry, None);
+        let f = b.finish();
+        let lf = forest(&f);
+        assert!(lf.loops.is_empty());
+        assert!(lf.back_edges.is_empty());
+    }
+}

@@ -1,0 +1,716 @@
+//! IR data structures: modules, functions, basic blocks, instructions, and a
+//! builder for constructing them programmatically.
+//!
+//! The representation is a conventional SSA arena: every instruction lives in
+//! its function's `insts` arena and is identified by a [`ValueId`]; basic
+//! blocks hold an ordered list of instruction IDs plus a terminator.  Operands
+//! are either constants, function parameters, or references to other
+//! instructions' results.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies an instruction (and its result value) within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+/// Identifies a basic block within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BasicBlockId(pub u32);
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+impl fmt::Display for BasicBlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A 64-bit constant.
+    Const(i64),
+    /// The result of another instruction.
+    Value(ValueId),
+    /// The `i`-th function parameter.
+    Param(usize),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Const(c) => write!(f, "{c}"),
+            Operand::Value(v) => write!(f, "{v}"),
+            Operand::Param(p) => write!(f, "arg{p}"),
+        }
+    }
+}
+
+/// Integer binary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+}
+
+/// Integer comparison predicates (signed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// An IR instruction.
+///
+/// The `Malloc`/`Free` pair models the application's calls to the system
+/// allocator; the Alaska compiler's allocation-replacement pass rewrites them
+/// to `Halloc`/`Hfree`.  `Translate`, `Release` and `Safepoint` only appear in
+/// compiler-transformed code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instruction {
+    /// Integer arithmetic/bitwise operation.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// Integer comparison producing 0 or 1.
+    Cmp {
+        /// Predicate.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// Select between two values based on a condition (`cond ? a : b`).
+    Select {
+        /// Condition (non-zero selects `then_value`).
+        cond: Operand,
+        /// Value if the condition is non-zero.
+        then_value: Operand,
+        /// Value if the condition is zero.
+        else_value: Operand,
+    },
+    /// Load a 64-bit value from memory.
+    Load {
+        /// Address (pointer or — before transformation — possibly a handle).
+        addr: Operand,
+    },
+    /// Store a 64-bit value to memory.
+    Store {
+        /// Address.
+        addr: Operand,
+        /// Value to store.
+        value: Operand,
+    },
+    /// Pointer arithmetic: `base + index * scale` (LLVM `getelementptr`).
+    Gep {
+        /// Base pointer/handle.
+        base: Operand,
+        /// Element index.
+        index: Operand,
+        /// Element size in bytes.
+        scale: u64,
+    },
+    /// SSA φ-node.
+    Phi {
+        /// `(predecessor block, value)` pairs.
+        incomings: Vec<(BasicBlockId, Operand)>,
+    },
+    /// Call to another function in the module.
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Arguments.
+        args: Vec<Operand>,
+    },
+    /// Call to a precompiled external function (libc model) — the escape-
+    /// handling pass pins handle arguments before these.
+    CallExternal {
+        /// External function name (see `interp::externals`).
+        callee: String,
+        /// Arguments.
+        args: Vec<Operand>,
+    },
+    /// Allocate `size` bytes with the system allocator; yields a raw pointer.
+    Malloc {
+        /// Size in bytes.
+        size: Operand,
+    },
+    /// Free a system allocation.
+    Free {
+        /// Pointer previously returned by `Malloc`.
+        ptr: Operand,
+    },
+    /// Allocate `size` bytes through Alaska; yields a handle.
+    Halloc {
+        /// Size in bytes.
+        size: Operand,
+    },
+    /// Free an Alaska allocation.
+    Hfree {
+        /// Handle previously returned by `Halloc`.
+        ptr: Operand,
+    },
+    /// Translate a (possible) handle to a raw address, optionally recording it
+    /// in the current pin frame's `slot`.
+    Translate {
+        /// The value to translate.
+        value: Operand,
+        /// Pin-frame slot assigned by the tracking pass (`None` before that
+        /// pass or when tracking is disabled).
+        slot: Option<u32>,
+    },
+    /// End of a translation's lifetime: clear its pin slot.
+    Release {
+        /// Pin-frame slot to clear.
+        slot: u32,
+    },
+    /// Safepoint poll (loop back-edges, function entries, external calls).
+    Safepoint,
+}
+
+impl Instruction {
+    /// Whether the instruction produces a result value.
+    pub fn has_result(&self) -> bool {
+        !matches!(
+            self,
+            Instruction::Store { .. }
+                | Instruction::Free { .. }
+                | Instruction::Hfree { .. }
+                | Instruction::Release { .. }
+                | Instruction::Safepoint
+        )
+    }
+
+    /// All operands of the instruction, in order.
+    pub fn operands(&self) -> Vec<Operand> {
+        match self {
+            Instruction::Bin { lhs, rhs, .. } | Instruction::Cmp { lhs, rhs, .. } => vec![*lhs, *rhs],
+            Instruction::Select { cond, then_value, else_value } => vec![*cond, *then_value, *else_value],
+            Instruction::Load { addr } => vec![*addr],
+            Instruction::Store { addr, value } => vec![*addr, *value],
+            Instruction::Gep { base, index, .. } => vec![*base, *index],
+            Instruction::Phi { incomings } => incomings.iter().map(|(_, v)| *v).collect(),
+            Instruction::Call { args, .. } | Instruction::CallExternal { args, .. } => args.clone(),
+            Instruction::Malloc { size } | Instruction::Halloc { size } => vec![*size],
+            Instruction::Free { ptr } | Instruction::Hfree { ptr } => vec![*ptr],
+            Instruction::Translate { value, .. } => vec![*value],
+            Instruction::Release { .. } | Instruction::Safepoint => vec![],
+        }
+    }
+
+    /// Mutable references to all operands, for use-rewriting passes.
+    pub fn operands_mut(&mut self) -> Vec<&mut Operand> {
+        match self {
+            Instruction::Bin { lhs, rhs, .. } | Instruction::Cmp { lhs, rhs, .. } => vec![lhs, rhs],
+            Instruction::Select { cond, then_value, else_value } => vec![cond, then_value, else_value],
+            Instruction::Load { addr } => vec![addr],
+            Instruction::Store { addr, value } => vec![addr, value],
+            Instruction::Gep { base, index, .. } => vec![base, index],
+            Instruction::Phi { incomings } => incomings.iter_mut().map(|(_, v)| v).collect(),
+            Instruction::Call { args, .. } | Instruction::CallExternal { args, .. } => {
+                args.iter_mut().collect()
+            }
+            Instruction::Malloc { size } | Instruction::Halloc { size } => vec![size],
+            Instruction::Free { ptr } | Instruction::Hfree { ptr } => vec![ptr],
+            Instruction::Translate { value, .. } => vec![value],
+            Instruction::Release { .. } | Instruction::Safepoint => vec![],
+        }
+    }
+
+    /// The address operand if this instruction accesses memory.
+    pub fn address_operand(&self) -> Option<Operand> {
+        match self {
+            Instruction::Load { addr } => Some(*addr),
+            Instruction::Store { addr, .. } => Some(*addr),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a memory access (load or store).
+    pub fn is_memory_access(&self) -> bool {
+        matches!(self, Instruction::Load { .. } | Instruction::Store { .. })
+    }
+}
+
+/// A basic-block terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Return from the function, optionally with a value.
+    Ret(Option<Operand>),
+    /// Unconditional branch.
+    Br(BasicBlockId),
+    /// Conditional branch (`cond != 0` takes `then_bb`).
+    CondBr {
+        /// Condition.
+        cond: Operand,
+        /// Target when the condition is non-zero.
+        then_bb: BasicBlockId,
+        /// Target when the condition is zero.
+        else_bb: BasicBlockId,
+    },
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator.
+    pub fn successors(&self) -> Vec<BasicBlockId> {
+        match self {
+            Terminator::Ret(_) => vec![],
+            Terminator::Br(t) => vec![*t],
+            Terminator::CondBr { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+        }
+    }
+
+    /// Operands used by the terminator.
+    pub fn operands(&self) -> Vec<Operand> {
+        match self {
+            Terminator::Ret(Some(v)) => vec![*v],
+            Terminator::Ret(None) | Terminator::Br(_) => vec![],
+            Terminator::CondBr { cond, .. } => vec![*cond],
+        }
+    }
+}
+
+/// A basic block: an ordered list of instructions plus a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicBlock {
+    /// Human-readable label.
+    pub name: String,
+    /// Instruction IDs in execution order.
+    pub insts: Vec<ValueId>,
+    /// The block terminator (`None` only while under construction).
+    pub terminator: Option<Terminator>,
+}
+
+/// A function in SSA form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name (unique within a module).
+    pub name: String,
+    /// Number of parameters.
+    pub num_params: usize,
+    /// Instruction arena indexed by [`ValueId`].
+    pub insts: Vec<Instruction>,
+    /// Basic blocks indexed by [`BasicBlockId`].
+    pub blocks: Vec<BasicBlock>,
+    /// The entry block.
+    pub entry: BasicBlockId,
+    /// Size of the pin-set frame the tracking pass assigned (0 = no frame).
+    pub pin_frame_slots: u32,
+}
+
+impl Function {
+    /// Look up an instruction.
+    pub fn inst(&self, id: ValueId) -> &Instruction {
+        &self.insts[id.0 as usize]
+    }
+
+    /// Mutable access to an instruction.
+    pub fn inst_mut(&mut self, id: ValueId) -> &mut Instruction {
+        &mut self.insts[id.0 as usize]
+    }
+
+    /// Look up a block.
+    pub fn block(&self, id: BasicBlockId) -> &BasicBlock {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Mutable access to a block.
+    pub fn block_mut(&mut self, id: BasicBlockId) -> &mut BasicBlock {
+        &mut self.blocks[id.0 as usize]
+    }
+
+    /// All block IDs in index order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BasicBlockId> {
+        (0..self.blocks.len() as u32).map(BasicBlockId)
+    }
+
+    /// Append a fresh instruction to the arena (not yet placed in any block).
+    pub fn add_inst(&mut self, inst: Instruction) -> ValueId {
+        let id = ValueId(self.insts.len() as u32);
+        self.insts.push(inst);
+        id
+    }
+
+    /// The block containing `v`, if it has been placed.
+    pub fn defining_block(&self, v: ValueId) -> Option<BasicBlockId> {
+        self.block_ids().find(|&bb| self.block(bb).insts.contains(&v))
+    }
+
+    /// Position of `v` within its block's instruction list.
+    pub fn position_in_block(&self, bb: BasicBlockId, v: ValueId) -> Option<usize> {
+        self.block(bb).insts.iter().position(|&i| i == v)
+    }
+
+    /// Insert an already-created instruction into `bb` at `index`.
+    pub fn insert_in_block(&mut self, bb: BasicBlockId, index: usize, v: ValueId) {
+        self.block_mut(bb).insts.insert(index, v);
+    }
+
+    /// Number of instructions placed in blocks (the function's static size,
+    /// used for the code-size study).
+    pub fn static_size(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum::<usize>() + self.blocks.len()
+    }
+
+    /// Total uses of each value, for liveness and rewriting diagnostics.
+    pub fn use_counts(&self) -> HashMap<ValueId, usize> {
+        let mut counts = HashMap::new();
+        for bb in self.block_ids() {
+            for &v in &self.block(bb).insts {
+                for op in self.inst(v).operands() {
+                    if let Operand::Value(u) = op {
+                        *counts.entry(u).or_insert(0) += 1;
+                    }
+                }
+            }
+            if let Some(t) = &self.block(bb).terminator {
+                for op in t.operands() {
+                    if let Operand::Value(u) = op {
+                        *counts.entry(u).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        counts
+    }
+}
+
+/// A compilation unit: a set of functions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    functions: Vec<Function>,
+    index: HashMap<String, usize>,
+}
+
+impl Module {
+    /// Create an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module { name: name.into(), functions: Vec::new(), index: HashMap::new() }
+    }
+
+    /// Add (or replace) a function.
+    pub fn add_function(&mut self, f: Function) {
+        if let Some(&i) = self.index.get(&f.name) {
+            self.functions[i] = f;
+        } else {
+            self.index.insert(f.name.clone(), self.functions.len());
+            self.functions.push(f);
+        }
+    }
+
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.index.get(name).map(|&i| &self.functions[i])
+    }
+
+    /// Mutable lookup by name.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        let i = *self.index.get(name)?;
+        Some(&mut self.functions[i])
+    }
+
+    /// All functions.
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// Mutable access to all functions.
+    pub fn functions_mut(&mut self) -> &mut [Function] {
+        &mut self.functions
+    }
+
+    /// Total static instruction count across all functions (code-size metric).
+    pub fn static_size(&self) -> usize {
+        self.functions.iter().map(|f| f.static_size()).sum()
+    }
+}
+
+/// Convenience builder for constructing [`Function`]s.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    f: Function,
+}
+
+impl FunctionBuilder {
+    /// Start building a function with `num_params` parameters.  An entry block
+    /// is created automatically.
+    pub fn new(name: impl Into<String>, num_params: usize) -> Self {
+        let mut f = Function {
+            name: name.into(),
+            num_params,
+            insts: Vec::new(),
+            blocks: Vec::new(),
+            entry: BasicBlockId(0),
+            pin_frame_slots: 0,
+        };
+        f.blocks.push(BasicBlock { name: "entry".into(), insts: Vec::new(), terminator: None });
+        FunctionBuilder { f }
+    }
+
+    /// The entry block's ID.
+    pub fn entry_block(&self) -> BasicBlockId {
+        self.f.entry
+    }
+
+    /// Create a new, empty block.
+    pub fn add_block(&mut self, name: impl Into<String>) -> BasicBlockId {
+        let id = BasicBlockId(self.f.blocks.len() as u32);
+        self.f.blocks.push(BasicBlock { name: name.into(), insts: Vec::new(), terminator: None });
+        id
+    }
+
+    fn push(&mut self, bb: BasicBlockId, inst: Instruction) -> ValueId {
+        let id = self.f.add_inst(inst);
+        self.f.block_mut(bb).insts.push(id);
+        id
+    }
+
+    /// Append an arbitrary instruction (used by compiler passes and tests that
+    /// need instructions without a dedicated convenience method).
+    pub fn push_inst(&mut self, bb: BasicBlockId, inst: Instruction) -> ValueId {
+        self.push(bb, inst)
+    }
+
+    /// Append a binary operation.
+    pub fn binop(&mut self, bb: BasicBlockId, op: BinOp, lhs: Operand, rhs: Operand) -> ValueId {
+        self.push(bb, Instruction::Bin { op, lhs, rhs })
+    }
+
+    /// Append a comparison.
+    pub fn cmp(&mut self, bb: BasicBlockId, op: CmpOp, lhs: Operand, rhs: Operand) -> ValueId {
+        self.push(bb, Instruction::Cmp { op, lhs, rhs })
+    }
+
+    /// Append a select.
+    pub fn select(&mut self, bb: BasicBlockId, cond: Operand, t: Operand, e: Operand) -> ValueId {
+        self.push(bb, Instruction::Select { cond, then_value: t, else_value: e })
+    }
+
+    /// Append a load.
+    pub fn load(&mut self, bb: BasicBlockId, addr: Operand) -> ValueId {
+        self.push(bb, Instruction::Load { addr })
+    }
+
+    /// Append a store.
+    pub fn store(&mut self, bb: BasicBlockId, addr: Operand, value: Operand) -> ValueId {
+        self.push(bb, Instruction::Store { addr, value })
+    }
+
+    /// Append pointer arithmetic (`base + index * scale`).
+    pub fn gep(&mut self, bb: BasicBlockId, base: Operand, index: Operand, scale: u64) -> ValueId {
+        self.push(bb, Instruction::Gep { base, index, scale })
+    }
+
+    /// Append an (initially empty) φ-node; fill it with
+    /// [`FunctionBuilder::add_phi_incoming`].
+    pub fn phi(&mut self, bb: BasicBlockId) -> ValueId {
+        // Phis must precede ordinary instructions; insert after the last phi.
+        let id = self.f.add_inst(Instruction::Phi { incomings: Vec::new() });
+        let pos = {
+            let block = self.f.block(bb);
+            block
+                .insts
+                .iter()
+                .take_while(|&&v| matches!(self.f.insts[v.0 as usize], Instruction::Phi { .. }))
+                .count()
+        };
+        self.f.block_mut(bb).insts.insert(pos, id);
+        id
+    }
+
+    /// Add an incoming edge to a φ-node.
+    pub fn add_phi_incoming(&mut self, phi: ValueId, pred: BasicBlockId, value: Operand) {
+        if let Instruction::Phi { incomings } = self.f.inst_mut(phi) {
+            incomings.push((pred, value));
+        } else {
+            panic!("{phi} is not a phi");
+        }
+    }
+
+    /// Append a call to another function in the module.
+    pub fn call(&mut self, bb: BasicBlockId, callee: impl Into<String>, args: Vec<Operand>) -> ValueId {
+        self.push(bb, Instruction::Call { callee: callee.into(), args })
+    }
+
+    /// Append a call to an external (libc-model) function.
+    pub fn call_external(
+        &mut self,
+        bb: BasicBlockId,
+        callee: impl Into<String>,
+        args: Vec<Operand>,
+    ) -> ValueId {
+        self.push(bb, Instruction::CallExternal { callee: callee.into(), args })
+    }
+
+    /// Append a system-allocator allocation.
+    pub fn malloc(&mut self, bb: BasicBlockId, size: Operand) -> ValueId {
+        self.push(bb, Instruction::Malloc { size })
+    }
+
+    /// Append a system-allocator free.
+    pub fn free(&mut self, bb: BasicBlockId, ptr: Operand) -> ValueId {
+        self.push(bb, Instruction::Free { ptr })
+    }
+
+    /// Set the terminator: return.
+    pub fn ret(&mut self, bb: BasicBlockId, value: Option<Operand>) {
+        self.f.block_mut(bb).terminator = Some(Terminator::Ret(value));
+    }
+
+    /// Set the terminator: unconditional branch.
+    pub fn br(&mut self, bb: BasicBlockId, target: BasicBlockId) {
+        self.f.block_mut(bb).terminator = Some(Terminator::Br(target));
+    }
+
+    /// Set the terminator: conditional branch.
+    pub fn cond_br(
+        &mut self,
+        bb: BasicBlockId,
+        cond: Operand,
+        then_bb: BasicBlockId,
+        else_bb: BasicBlockId,
+    ) {
+        self.f.block_mut(bb).terminator = Some(Terminator::CondBr { cond, then_bb, else_bb });
+    }
+
+    /// Finish building, returning the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block lacks a terminator.
+    pub fn finish(self) -> Function {
+        for (i, b) in self.f.blocks.iter().enumerate() {
+            assert!(
+                b.terminator.is_some(),
+                "block bb{i} ({}) of {} has no terminator",
+                b.name,
+                self.f.name
+            );
+        }
+        self.f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_function() -> Function {
+        let mut b = FunctionBuilder::new("f", 2);
+        let entry = b.entry_block();
+        let sum = b.binop(entry, BinOp::Add, Operand::Param(0), Operand::Param(1));
+        b.ret(entry, Some(Operand::Value(sum)));
+        b.finish()
+    }
+
+    #[test]
+    fn builder_produces_well_formed_function() {
+        let f = simple_function();
+        assert_eq!(f.num_params, 2);
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.block(f.entry).insts.len(), 1);
+        assert!(f.block(f.entry).terminator.is_some());
+        assert_eq!(f.static_size(), 2);
+    }
+
+    #[test]
+    fn operands_and_results() {
+        let i = Instruction::Bin { op: BinOp::Add, lhs: Operand::Const(1), rhs: Operand::Param(0) };
+        assert!(i.has_result());
+        assert_eq!(i.operands().len(), 2);
+        let s = Instruction::Store { addr: Operand::Param(0), value: Operand::Const(3) };
+        assert!(!s.has_result());
+        assert_eq!(s.address_operand(), Some(Operand::Param(0)));
+        assert!(s.is_memory_access());
+        assert!(!i.is_memory_access());
+    }
+
+    #[test]
+    fn module_lookup_and_replace() {
+        let mut m = Module::new("test");
+        m.add_function(simple_function());
+        assert!(m.function("f").is_some());
+        assert!(m.function("g").is_none());
+        // Replacing keeps a single copy.
+        m.add_function(simple_function());
+        assert_eq!(m.functions().len(), 1);
+    }
+
+    #[test]
+    fn phis_are_kept_at_block_start() {
+        let mut b = FunctionBuilder::new("g", 0);
+        let entry = b.entry_block();
+        let body = b.add_block("body");
+        b.br(entry, body);
+        let x = b.binop(body, BinOp::Add, Operand::Const(1), Operand::Const(2));
+        let p = b.phi(body);
+        b.add_phi_incoming(p, entry, Operand::Const(0));
+        b.ret(body, Some(Operand::Value(x)));
+        let f = b.finish();
+        let first = f.block(body).insts[0];
+        assert!(matches!(f.inst(first), Instruction::Phi { .. }), "phi must be first in block");
+    }
+
+    #[test]
+    #[should_panic(expected = "no terminator")]
+    fn finish_rejects_unterminated_blocks() {
+        let b = FunctionBuilder::new("bad", 0);
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn defining_block_and_position() {
+        let f = simple_function();
+        let v = f.block(f.entry).insts[0];
+        assert_eq!(f.defining_block(v), Some(f.entry));
+        assert_eq!(f.position_in_block(f.entry, v), Some(0));
+    }
+
+    #[test]
+    fn use_counts_cover_terminators() {
+        let f = simple_function();
+        let v = f.block(f.entry).insts[0];
+        let counts = f.use_counts();
+        assert_eq!(counts.get(&v), Some(&1), "return uses the sum");
+    }
+
+    #[test]
+    fn terminator_successors() {
+        assert!(Terminator::Ret(None).successors().is_empty());
+        assert_eq!(Terminator::Br(BasicBlockId(3)).successors(), vec![BasicBlockId(3)]);
+        let c = Terminator::CondBr {
+            cond: Operand::Const(1),
+            then_bb: BasicBlockId(1),
+            else_bb: BasicBlockId(2),
+        };
+        assert_eq!(c.successors().len(), 2);
+        assert_eq!(c.operands().len(), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Textual dump of the IR, for debugging transformed programs and for
+//! snapshot-style tests in the compiler crate.
+
+use crate::module::{Function, Instruction, Module, Terminator};
+use std::fmt::Write;
+
+/// Render a function as human-readable text.
+pub fn print_function(f: &Function) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fn {}({}) [pin_slots={}] {{",
+        f.name,
+        (0..f.num_params).map(|i| format!("arg{i}")).collect::<Vec<_>>().join(", "),
+        f.pin_frame_slots
+    );
+    for bb in f.block_ids() {
+        let block = f.block(bb);
+        let _ = writeln!(out, "{bb}: ; {}", block.name);
+        for &v in &block.insts {
+            let _ = writeln!(out, "  {v} = {}", print_inst(f.inst(v)));
+        }
+        match &block.terminator {
+            Some(t) => {
+                let _ = writeln!(out, "  {}", print_term(t));
+            }
+            None => {
+                let _ = writeln!(out, "  <no terminator>");
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut out = format!("; module {}\n", m.name);
+    for f in m.functions() {
+        out.push_str(&print_function(f));
+        out.push('\n');
+    }
+    out
+}
+
+fn print_inst(i: &Instruction) -> String {
+    match i {
+        Instruction::Bin { op, lhs, rhs } => format!("{op:?} {lhs}, {rhs}").to_lowercase(),
+        Instruction::Cmp { op, lhs, rhs } => format!("cmp {op:?} {lhs}, {rhs}").to_lowercase(),
+        Instruction::Select { cond, then_value, else_value } => {
+            format!("select {cond}, {then_value}, {else_value}")
+        }
+        Instruction::Load { addr } => format!("load {addr}"),
+        Instruction::Store { addr, value } => format!("store {value} -> {addr}"),
+        Instruction::Gep { base, index, scale } => format!("gep {base}, {index} x {scale}"),
+        Instruction::Phi { incomings } => {
+            let parts: Vec<String> =
+                incomings.iter().map(|(b, v)| format!("[{b}: {v}]")).collect();
+            format!("phi {}", parts.join(", "))
+        }
+        Instruction::Call { callee, args } => format!(
+            "call {callee}({})",
+            args.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(", ")
+        ),
+        Instruction::CallExternal { callee, args } => format!(
+            "call.ext {callee}({})",
+            args.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(", ")
+        ),
+        Instruction::Malloc { size } => format!("malloc {size}"),
+        Instruction::Free { ptr } => format!("free {ptr}"),
+        Instruction::Halloc { size } => format!("halloc {size}"),
+        Instruction::Hfree { ptr } => format!("hfree {ptr}"),
+        Instruction::Translate { value, slot } => match slot {
+            Some(s) => format!("translate {value} [slot {s}]"),
+            None => format!("translate {value}"),
+        },
+        Instruction::Release { slot } => format!("release [slot {slot}]"),
+        Instruction::Safepoint => "safepoint".to_string(),
+    }
+}
+
+fn print_term(t: &Terminator) -> String {
+    match t {
+        Terminator::Ret(None) => "ret".to_string(),
+        Terminator::Ret(Some(v)) => format!("ret {v}"),
+        Terminator::Br(b) => format!("br {b}"),
+        Terminator::CondBr { cond, then_bb, else_bb } => {
+            format!("br {cond} ? {then_bb} : {else_bb}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{BinOp, FunctionBuilder, Operand};
+
+    #[test]
+    fn printer_includes_blocks_instructions_and_terminators() {
+        let mut b = FunctionBuilder::new("show", 1);
+        let entry = b.entry_block();
+        let v = b.binop(entry, BinOp::Mul, Operand::Param(0), Operand::Const(3));
+        let m = b.malloc(entry, Operand::Const(64));
+        b.store(entry, Operand::Value(m), Operand::Value(v));
+        b.ret(entry, Some(Operand::Value(v)));
+        let f = b.finish();
+        let text = print_function(&f);
+        assert!(text.contains("fn show(arg0)"));
+        assert!(text.contains("mul arg0, 3"));
+        assert!(text.contains("malloc 64"));
+        assert!(text.contains("store"));
+        assert!(text.contains("ret %0"));
+    }
+
+    #[test]
+    fn module_printer_lists_all_functions() {
+        let mut m = Module::new("demo");
+        for name in ["a", "b"] {
+            let mut b = FunctionBuilder::new(name, 0);
+            let entry = b.entry_block();
+            b.ret(entry, None);
+            m.add_function(b.finish());
+        }
+        let text = print_module(&m);
+        assert!(text.contains("fn a()"));
+        assert!(text.contains("fn b()"));
+        assert!(text.contains("; module demo"));
+    }
+
+    use crate::module::Module;
+}

@@ -1,0 +1,331 @@
+//! An SSA verifier, run after every compiler transformation in the test suite.
+//!
+//! The verifier checks the structural invariants the interpreter and the
+//! Alaska passes rely on:
+//!
+//! * every block has a terminator and branch targets exist,
+//! * every operand refers to an instruction that exists and produces a result,
+//! * every use is dominated by its definition (phi uses are checked against the
+//!   corresponding predecessor edge),
+//! * phi incoming blocks are exactly the block's CFG predecessors,
+//! * parameters referenced exist,
+//! * `Release`/`Translate` slots fit in the function's declared pin-frame size.
+
+use crate::cfg::Cfg;
+use crate::dom::DominatorTree;
+use crate::module::{BasicBlockId, Function, Instruction, Module, Operand, ValueId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function in which the failure occurred.
+    pub function: String,
+    /// Description of the violated invariant.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verification of `{}` failed: {}", self.function, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+fn err(f: &Function, message: impl Into<String>) -> VerifyError {
+    VerifyError { function: f.name.clone(), message: message.into() }
+}
+
+/// Verify a whole module.
+///
+/// # Errors
+///
+/// Returns the first violated invariant found.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    for f in m.functions() {
+        verify_function(f)?;
+        // Cross-function check: calls target existing functions with matching arity.
+        for bb in f.block_ids() {
+            for &v in &f.block(bb).insts {
+                if let Instruction::Call { callee, args } = f.inst(v) {
+                    match m.function(callee) {
+                        None => {
+                            return Err(err(f, format!("call to unknown function `{callee}`")))
+                        }
+                        Some(target) if target.num_params != args.len() => {
+                            return Err(err(
+                                f,
+                                format!(
+                                    "call to `{callee}` passes {} args, expected {}",
+                                    args.len(),
+                                    target.num_params
+                                ),
+                            ))
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verify a single function.
+///
+/// # Errors
+///
+/// Returns the first violated invariant found.
+pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
+    let num_blocks = f.blocks.len() as u32;
+    // Structural checks first.
+    let mut placed: HashMap<ValueId, (BasicBlockId, usize)> = HashMap::new();
+    for bb in f.block_ids() {
+        let block = f.block(bb);
+        let term = block
+            .terminator
+            .as_ref()
+            .ok_or_else(|| err(f, format!("{bb} has no terminator")))?;
+        for target in term.successors() {
+            if target.0 >= num_blocks {
+                return Err(err(f, format!("{bb} branches to nonexistent {target}")));
+            }
+        }
+        for (i, &v) in block.insts.iter().enumerate() {
+            if v.0 as usize >= f.insts.len() {
+                return Err(err(f, format!("{bb} references nonexistent instruction {v}")));
+            }
+            if placed.insert(v, (bb, i)).is_some() {
+                return Err(err(f, format!("{v} is placed in more than one block")));
+            }
+        }
+        // Phis must be a prefix of the block.
+        let mut seen_non_phi = false;
+        for &v in &block.insts {
+            match f.inst(v) {
+                Instruction::Phi { .. } if seen_non_phi => {
+                    return Err(err(f, format!("{v}: phi appears after non-phi in {bb}")))
+                }
+                Instruction::Phi { .. } => {}
+                _ => seen_non_phi = true,
+            }
+        }
+    }
+
+    let cfg = Cfg::build(f);
+    let dt = DominatorTree::build(f, &cfg);
+
+    let check_operand = |user_bb: BasicBlockId,
+                         user_pos: usize,
+                         op: Operand,
+                         via_phi_pred: Option<BasicBlockId>|
+     -> Result<(), VerifyError> {
+        match op {
+            Operand::Const(_) => Ok(()),
+            Operand::Param(p) => {
+                if p >= f.num_params {
+                    Err(err(f, format!("use of nonexistent parameter arg{p}")))
+                } else {
+                    Ok(())
+                }
+            }
+            Operand::Value(def) => {
+                let (def_bb, def_pos) = match placed.get(&def) {
+                    Some(x) => *x,
+                    None => return Err(err(f, format!("use of unplaced value {def}"))),
+                };
+                if !f.inst(def).has_result() {
+                    return Err(err(f, format!("{def} has no result but is used as an operand")));
+                }
+                if !cfg.is_reachable(user_bb) {
+                    return Ok(()); // unreachable code is tolerated
+                }
+                match via_phi_pred {
+                    Some(pred) => {
+                        // A phi use must be dominated by the def along the pred edge.
+                        if !dt.dominates(def_bb, pred) {
+                            return Err(err(
+                                f,
+                                format!("phi use of {def} not dominated via predecessor {pred}"),
+                            ));
+                        }
+                        Ok(())
+                    }
+                    None => {
+                        let ok = if def_bb == user_bb {
+                            def_pos < user_pos
+                        } else {
+                            dt.dominates(def_bb, user_bb)
+                        };
+                        if ok {
+                            Ok(())
+                        } else {
+                            Err(err(
+                                f,
+                                format!("use of {def} in {user_bb} is not dominated by its definition"),
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    for bb in f.block_ids() {
+        let block = f.block(bb);
+        for (i, &v) in block.insts.iter().enumerate() {
+            match f.inst(v) {
+                Instruction::Phi { incomings } => {
+                    let mut preds: Vec<BasicBlockId> = cfg.preds(bb).to_vec();
+                    preds.sort();
+                    preds.dedup();
+                    let mut incoming_blocks: Vec<BasicBlockId> =
+                        incomings.iter().map(|(b, _)| *b).collect();
+                    incoming_blocks.sort();
+                    incoming_blocks.dedup();
+                    if cfg.is_reachable(bb) && incoming_blocks != preds {
+                        return Err(err(
+                            f,
+                            format!(
+                                "{v}: phi incoming blocks {incoming_blocks:?} do not match predecessors {preds:?} of {bb}"
+                            ),
+                        ));
+                    }
+                    for (pred, op) in incomings {
+                        check_operand(bb, i, *op, Some(*pred))?;
+                    }
+                }
+                inst => {
+                    for op in inst.operands() {
+                        check_operand(bb, i, op, None)?;
+                    }
+                    // Pin-slot consistency.
+                    match inst {
+                        Instruction::Translate { slot: Some(s), .. } | Instruction::Release { slot: s } => {
+                            if *s >= f.pin_frame_slots {
+                                return Err(err(
+                                    f,
+                                    format!(
+                                        "{v}: pin slot {s} exceeds frame size {}",
+                                        f.pin_frame_slots
+                                    ),
+                                ));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        if let Some(t) = &block.terminator {
+            for op in t.operands() {
+                check_operand(bb, block.insts.len(), op, None)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{BinOp, CmpOp, FunctionBuilder, Operand, Terminator};
+
+    fn valid_loop() -> Function {
+        let mut b = FunctionBuilder::new("ok", 1);
+        let entry = b.entry_block();
+        let header = b.add_block("header");
+        let body = b.add_block("body");
+        let exit = b.add_block("exit");
+        b.br(entry, header);
+        let i = b.phi(header);
+        b.add_phi_incoming(i, entry, Operand::Const(0));
+        let c = b.cmp(header, CmpOp::Lt, Operand::Value(i), Operand::Param(0));
+        b.cond_br(header, Operand::Value(c), body, exit);
+        let n = b.binop(body, BinOp::Add, Operand::Value(i), Operand::Const(1));
+        b.add_phi_incoming(i, body, Operand::Value(n));
+        b.br(body, header);
+        b.ret(exit, Some(Operand::Value(i)));
+        b.finish()
+    }
+
+    #[test]
+    fn valid_function_verifies() {
+        assert!(verify_function(&valid_loop()).is_ok());
+    }
+
+    #[test]
+    fn use_before_def_in_same_block_is_rejected() {
+        let mut f = valid_loop();
+        // Swap the compare before the phi it uses.
+        let header = crate::module::BasicBlockId(1);
+        f.block_mut(header).insts.swap(0, 1);
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.message.contains("phi appears after non-phi") || e.message.contains("dominated"));
+    }
+
+    #[test]
+    fn branch_to_missing_block_is_rejected() {
+        let mut f = valid_loop();
+        f.block_mut(f.entry).terminator = Some(Terminator::Br(crate::module::BasicBlockId(99)));
+        assert!(verify_function(&f).is_err());
+    }
+
+    #[test]
+    fn phi_with_wrong_predecessors_is_rejected() {
+        let mut f = valid_loop();
+        let header = crate::module::BasicBlockId(1);
+        let phi = f.block(header).insts[0];
+        if let Instruction::Phi { incomings } = f.inst_mut(phi) {
+            incomings.pop();
+        }
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.message.contains("predecessors"));
+    }
+
+    #[test]
+    fn bad_parameter_index_is_rejected() {
+        let mut b = FunctionBuilder::new("badparam", 1);
+        let entry = b.entry_block();
+        let v = b.binop(entry, BinOp::Add, Operand::Param(3), Operand::Const(0));
+        b.ret(entry, Some(Operand::Value(v)));
+        assert!(verify_function(&b.finish()).is_err());
+    }
+
+    #[test]
+    fn slot_beyond_frame_is_rejected() {
+        let mut b = FunctionBuilder::new("slots", 1);
+        let entry = b.entry_block();
+        b.ret(entry, None);
+        let mut f = b.finish();
+        let t = f.add_inst(Instruction::Translate { value: Operand::Param(0), slot: Some(2) });
+        f.block_mut(f.entry).insts.push(t);
+        f.pin_frame_slots = 1;
+        assert!(verify_function(&f).is_err());
+        f.pin_frame_slots = 3;
+        assert!(verify_function(&f).is_ok());
+    }
+
+    #[test]
+    fn module_checks_call_targets_and_arity() {
+        let mut m = Module::new("m");
+        m.add_function(valid_loop());
+        let mut b = FunctionBuilder::new("caller", 0);
+        let entry = b.entry_block();
+        let r = b.call(entry, "ok", vec![Operand::Const(5)]);
+        b.ret(entry, Some(Operand::Value(r)));
+        m.add_function(b.finish());
+        assert!(verify_module(&m).is_ok());
+
+        let mut b = FunctionBuilder::new("bad_caller", 0);
+        let entry = b.entry_block();
+        let r = b.call(entry, "missing", vec![]);
+        b.ret(entry, Some(Operand::Value(r)));
+        m.add_function(b.finish());
+        assert!(verify_module(&m).is_err());
+    }
+
+    use crate::module::Module;
+}

@@ -1,0 +1,29 @@
+//! In-memory key-value stores used as the paper's fragmentation workloads.
+//!
+//! Figures 1 and 9–11 study Redis configured with a `maxmemory` limit and LRU
+//! eviction: a long-running churn of inserts and evictions scatters live
+//! values across the heap, and without object movement the resident set stays
+//! at its peak.  Figure 12 studies memcached-like request latency under
+//! periodic stop-the-world pauses.  This crate provides:
+//!
+//! * [`storage`] — pluggable *value storage* back-ends: Alaska handles
+//!   (optionally with the Anchorage defragmenter), a raw non-moving allocator
+//!   (the `glibc`/baseline configuration), the Mesh-like allocator, and an
+//!   arena back-end used by the `activedefrag` comparator,
+//! * [`redis`] — [`redis::RedisLike`], a single-threaded store with
+//!   `maxmemory` + LRU eviction and an application-level `activedefrag`
+//!   implementation (the "bespoke, hand-rolled" comparator from the paper),
+//! * [`sharded`] — [`sharded::ShardedStore`], a thread-safe memcached-like
+//!   store whose values live behind Alaska handles, used for the pause-time
+//!   experiment.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod redis;
+pub mod sharded;
+pub mod storage;
+
+pub use redis::RedisLike;
+pub use sharded::ShardedStore;
+pub use storage::{ArenaStorage, HandleStorage, RawStorage, ValueStorage};

@@ -1,0 +1,169 @@
+//! A memcached-like thread-safe store for the pause-time experiment
+//! (Figure 12).
+//!
+//! Values live behind Alaska handles in a shared [`Runtime`]; the key space is
+//! split across shards, each protected by its own lock (memcached's item-lock
+//! design).  Worker threads issue closed-loop requests; a control thread
+//! periodically stops the world and relocates ~1 MiB of objects, and the
+//! workers' request latencies reveal the cost of those pauses.
+
+use alaska_runtime::Runtime;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Copy)]
+struct Item {
+    token: u64,
+    len: usize,
+}
+
+/// A sharded, thread-safe, handle-backed key-value store.
+pub struct ShardedStore {
+    rt: Arc<Runtime>,
+    shards: Vec<Mutex<HashMap<u64, Item>>>,
+}
+
+impl ShardedStore {
+    /// Create a store with `shards` lock shards over the given runtime.
+    pub fn new(rt: Arc<Runtime>, shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedStore {
+            rt,
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// The underlying runtime (shared with the pause controller).
+    pub fn runtime(&self) -> &Arc<Runtime> {
+        &self.rt
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Item>> {
+        let idx = (key as usize).wrapping_mul(0x9E37_79B9) % self.shards.len();
+        &self.shards[idx]
+    }
+
+    /// Store `value` under `key`.
+    pub fn set(&self, key: u64, value: &[u8]) {
+        // Allocate and fill the new value outside the shard lock.
+        let token = self.rt.halloc(value.len().max(1)).expect("halloc failed");
+        self.rt.write_bytes(token, 0, value);
+        let old = {
+            let mut shard = self.shard(key).lock();
+            shard.insert(key, Item { token, len: value.len() })
+        };
+        if let Some(old) = old {
+            self.rt.hfree(old.token).expect("hfree failed");
+        }
+        // Cooperative safepoint so barriers never wait on a busy worker.
+        self.rt.safepoint();
+    }
+
+    /// Fetch the value under `key`.
+    pub fn get(&self, key: u64) -> Option<Vec<u8>> {
+        let item = {
+            let shard = self.shard(key).lock();
+            shard.get(&key).copied()
+        };
+        let item = item?;
+        let mut out = vec![0u8; item.len];
+        self.rt.read_bytes(item.token, 0, &mut out);
+        self.rt.safepoint();
+        Some(out)
+    }
+
+    /// Delete `key`, returning whether it existed.
+    pub fn delete(&self, key: u64) -> bool {
+        let item = {
+            let mut shard = self.shard(key).lock();
+            shard.remove(&key)
+        };
+        match item {
+            Some(i) => {
+                self.rt.hfree(i.token).expect("hfree failed");
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of live keys across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alaska_anchorage::AnchorageService;
+    use alaska_heap::vmem::VirtualMemory;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    fn store(shards: usize) -> ShardedStore {
+        let vm = VirtualMemory::default();
+        let rt = Arc::new(Runtime::with_vm(vm.clone(), Box::new(AnchorageService::new(vm))));
+        ShardedStore::new(rt, shards)
+    }
+
+    #[test]
+    fn single_threaded_set_get_delete() {
+        let s = store(4);
+        s.set(1, b"hello");
+        s.set(2, b"world");
+        assert_eq!(s.get(1).as_deref(), Some(&b"hello"[..]));
+        assert_eq!(s.get(2).as_deref(), Some(&b"world"[..]));
+        assert_eq!(s.get(3), None);
+        assert!(s.delete(1));
+        assert!(!s.delete(1));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn overwrite_frees_the_old_value() {
+        let s = store(2);
+        s.set(9, &[1u8; 100]);
+        s.set(9, &[2u8; 50]);
+        assert_eq!(s.get(9).unwrap(), vec![2u8; 50]);
+        assert_eq!(s.runtime().live_handles(), 1);
+    }
+
+    #[test]
+    fn concurrent_workers_with_periodic_defrag_barriers() {
+        let s = Arc::new(store(8));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut workers = Vec::new();
+        for t in 0..4u64 {
+            let s = s.clone();
+            let stop = stop.clone();
+            workers.push(std::thread::spawn(move || {
+                let _guard = s.runtime().register_current_thread();
+                let mut ops = 0u64;
+                let mut k = t * 10_000;
+                while !stop.load(Ordering::Relaxed) {
+                    s.set(k, &[k as u8; 128]);
+                    assert_eq!(s.get(k).unwrap()[0], k as u8);
+                    k += 1;
+                    ops += 1;
+                }
+                ops
+            }));
+        }
+        // Fire several defragmentation barriers while the workers run.
+        for _ in 0..10 {
+            std::thread::sleep(std::time::Duration::from_millis(3));
+            s.runtime().defragment(Some(1 << 20));
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert!(total > 0);
+        assert!(s.runtime().stats().barriers >= 10);
+        assert_eq!(s.len() as u64, total, "every inserted key is distinct and live");
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type shared by the runtime crate.
+
+use std::fmt;
+
+/// Errors produced by the Alaska runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AlaskaError {
+    /// The handle table is full (2^31 live handles) or the configured capacity
+    /// was exhausted.
+    HandleTableFull,
+    /// The requested object size exceeds the 4 GiB handle offset range.
+    ObjectTooLarge {
+        /// Requested size in bytes.
+        requested: u64,
+    },
+    /// The backing-memory service could not satisfy an allocation.
+    OutOfMemory {
+        /// Requested size in bytes.
+        requested: u64,
+    },
+    /// A handle was used after being freed, or was never allocated.
+    InvalidHandle {
+        /// The raw 64-bit value that failed to resolve.
+        value: u64,
+    },
+    /// An operation that requires a registered thread was invoked from an
+    /// unregistered one.
+    ThreadNotRegistered,
+    /// A barrier was requested from inside another barrier.
+    NestedBarrier,
+}
+
+impl fmt::Display for AlaskaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlaskaError::HandleTableFull => write!(f, "handle table is full"),
+            AlaskaError::ObjectTooLarge { requested } => {
+                write!(f, "object of {requested} bytes exceeds the 4 GiB handle offset range")
+            }
+            AlaskaError::OutOfMemory { requested } => {
+                write!(f, "backing allocator could not provide {requested} bytes")
+            }
+            AlaskaError::InvalidHandle { value } => {
+                write!(f, "value {value:#x} is not a live handle")
+            }
+            AlaskaError::ThreadNotRegistered => {
+                write!(f, "calling thread is not registered with the runtime")
+            }
+            AlaskaError::NestedBarrier => write!(f, "barrier requested while one is in progress"),
+        }
+    }
+}
+
+impl std::error::Error for AlaskaError {}
+
+/// Convenience result alias for runtime operations.
+pub type Result<T> = std::result::Result<T, AlaskaError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_period() {
+        let msgs = [
+            AlaskaError::HandleTableFull.to_string(),
+            AlaskaError::ObjectTooLarge { requested: 1 }.to_string(),
+            AlaskaError::OutOfMemory { requested: 2 }.to_string(),
+            AlaskaError::InvalidHandle { value: 3 }.to_string(),
+            AlaskaError::ThreadNotRegistered.to_string(),
+            AlaskaError::NestedBarrier.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'));
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_e: E) {}
+        takes_err(AlaskaError::HandleTableFull);
+    }
+}

@@ -1,0 +1,225 @@
+//! The bit-level handle representation (paper §3.3, Figure 4).
+//!
+//! A 64-bit value is a **handle** when its top bit is set; otherwise it is an
+//! ordinary pointer (virtual address) and the runtime leaves it alone.  For a
+//! handle:
+//!
+//! ```text
+//!  63  62........32  31.............0
+//! +---+-------------+----------------+
+//! | 1 |  handle ID  |     offset     |
+//! +---+-------------+----------------+
+//! ```
+//!
+//! * bits 32–62 (31 bits) are the **handle ID**, an index into the handle
+//!   table — limiting the system to 2^31 live handles,
+//! * bits 0–31 are the **offset** into the object, capping objects at 4 GiB.
+//!
+//! Handles and pointers must coexist (§3.1): pointer arithmetic performed by
+//! the unmodified application simply adds to the offset field, so interior
+//! "pointers" into a handle-allocated object remain handles with a larger
+//! offset, and the same translation works for them.
+
+use std::fmt;
+
+/// The bit that distinguishes a handle from a raw pointer.
+pub const HANDLE_FLAG: u64 = 1 << 63;
+
+/// Number of bits in the handle ID field.
+pub const ID_BITS: u32 = 31;
+
+/// Number of bits in the offset field.
+pub const OFFSET_BITS: u32 = 32;
+
+/// Mask covering the offset field.
+pub const OFFSET_MASK: u64 = (1 << OFFSET_BITS) - 1;
+
+/// Maximum representable handle ID.
+pub const MAX_ID: u32 = (1 << ID_BITS) - 1;
+
+/// Index of an entry in the handle table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HandleId(pub u32);
+
+impl HandleId {
+    /// The table index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for HandleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h#{}", self.0)
+    }
+}
+
+/// A decoded handle: ID plus intra-object offset.
+///
+/// `Handle` is a transparent view over the raw 64-bit representation the
+/// application manipulates; use [`Handle::bits`] to get that representation
+/// back.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Handle(u64);
+
+impl Handle {
+    /// Build a handle for table entry `id` with offset 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` exceeds [`MAX_ID`].
+    pub fn new(id: HandleId) -> Handle {
+        Handle::with_offset(id, 0)
+    }
+
+    /// Build a handle for table entry `id` at byte `offset` into the object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` exceeds [`MAX_ID`].
+    pub fn with_offset(id: HandleId, offset: u32) -> Handle {
+        assert!(id.0 <= MAX_ID, "handle id {} out of range", id.0);
+        Handle(HANDLE_FLAG | ((id.0 as u64) << OFFSET_BITS) | offset as u64)
+    }
+
+    /// Reinterpret raw bits as a handle.
+    ///
+    /// Returns `None` if the top bit is clear (the value is a pointer).
+    pub fn from_bits(bits: u64) -> Option<Handle> {
+        if is_handle(bits) {
+            Some(Handle(bits))
+        } else {
+            None
+        }
+    }
+
+    /// The raw 64-bit representation handed to the application.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// The handle table index.
+    pub fn id(self) -> HandleId {
+        HandleId(((self.0 & !HANDLE_FLAG) >> OFFSET_BITS) as u32)
+    }
+
+    /// The byte offset into the object.
+    pub fn offset(self) -> u32 {
+        (self.0 & OFFSET_MASK) as u32
+    }
+
+    /// This handle with its offset advanced by `delta` bytes — what pointer
+    /// arithmetic in the application produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the offset overflows the 32-bit field (the
+    /// paper's out-of-bounds assumption, §3.2).
+    pub fn add_offset(self, delta: u32) -> Handle {
+        let new = self.offset() as u64 + delta as u64;
+        debug_assert!(new <= OFFSET_MASK, "offset overflow: {new}");
+        Handle(self.0 & !OFFSET_MASK | (new & OFFSET_MASK))
+    }
+}
+
+impl fmt::Debug for Handle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Handle(id={}, off={})", self.id().0, self.offset())
+    }
+}
+
+impl fmt::Display for Handle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// Is this 64-bit value a handle (top bit set) rather than a raw pointer?
+///
+/// This is the check the compiler emits before every translation (the
+/// `cmp`/`jg` pair in Figure 5): values with the top bit clear pass through
+/// untouched so handles and pointers can coexist.
+#[inline]
+pub fn is_handle(bits: u64) -> bool {
+    bits & HANDLE_FLAG != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_id_and_offset() {
+        let h = Handle::with_offset(HandleId(12345), 678);
+        assert_eq!(h.id(), HandleId(12345));
+        assert_eq!(h.offset(), 678);
+        assert!(is_handle(h.bits()));
+    }
+
+    #[test]
+    fn pointer_values_are_not_handles() {
+        assert!(!is_handle(0));
+        assert!(!is_handle(0x7fff_ffff_ffff));
+        assert!(is_handle(HANDLE_FLAG));
+    }
+
+    #[test]
+    fn max_id_roundtrips() {
+        let h = Handle::new(HandleId(MAX_ID));
+        assert_eq!(h.id().0, MAX_ID);
+        assert_eq!(h.offset(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn id_out_of_range_panics() {
+        let _ = Handle::new(HandleId(MAX_ID + 1));
+    }
+
+    #[test]
+    fn add_offset_models_pointer_arithmetic() {
+        let h = Handle::new(HandleId(7));
+        let h2 = h.add_offset(16).add_offset(8);
+        assert_eq!(h2.id(), HandleId(7));
+        assert_eq!(h2.offset(), 24);
+        assert!(is_handle(h2.bits()));
+    }
+
+    #[test]
+    fn from_bits_distinguishes_pointers() {
+        assert!(Handle::from_bits(0x1000).is_none());
+        let h = Handle::with_offset(HandleId(3), 4);
+        assert_eq!(Handle::from_bits(h.bits()), Some(h));
+    }
+
+    #[test]
+    fn debug_and_display_are_nonempty() {
+        let h = Handle::with_offset(HandleId(1), 2);
+        assert!(!format!("{h:?}").is_empty());
+        assert!(!format!("{h}").is_empty());
+        assert!(!format!("{}", HandleId(9)).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_encode_decode_roundtrip(id in 0u32..=MAX_ID, off in 0u32..=u32::MAX) {
+            let h = Handle::with_offset(HandleId(id), off);
+            prop_assert_eq!(h.id().0, id);
+            prop_assert_eq!(h.offset(), off);
+            prop_assert!(is_handle(h.bits()));
+        }
+
+        #[test]
+        fn prop_offset_addition_stays_in_same_object(id in 0u32..=MAX_ID, a in 0u32..1_000_000, b in 0u32..1_000_000) {
+            let h = Handle::with_offset(HandleId(id), a).add_offset(b);
+            prop_assert_eq!(h.id().0, id);
+            prop_assert_eq!(h.offset(), a + b);
+        }
+
+        #[test]
+        fn prop_pointers_never_look_like_handles(addr in 0u64..(1u64 << 63)) {
+            prop_assert!(!is_handle(addr));
+        }
+    }
+}

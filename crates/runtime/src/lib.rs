@@ -1,0 +1,79 @@
+//! The core Alaska runtime.
+//!
+//! This crate reproduces the runtime half of *Getting a Handle on Unmanaged
+//! Memory* (ASPLOS 2024): automatic, transparent **handle-based memory
+//! management** for unmanaged code.  Instead of raw pointers, allocations are
+//! identified by *handles* — 64-bit values with the top bit set whose middle
+//! bits index a single-level **handle table**.  Because every access funnels
+//! through the table, the runtime (or a pluggable *service* such as
+//! [Anchorage](https://docs.rs/alaska-anchorage)) can move the backing memory
+//! of any object that is not currently **pinned**, updating only one table
+//! entry.
+//!
+//! The main pieces, mirroring §3–4 of the paper:
+//!
+//! * [`handle`] — the bit-level handle representation (Figure 4): handle flag,
+//!   31-bit handle ID, 32-bit intra-object offset.
+//! * [`handle_table`] — the single-level table of handle-table entries (HTEs),
+//!   bump-allocated with a free list (§4.2.1).
+//! * [`runtime::Runtime`] — `halloc`/`hfree`, translation, pinning, thread
+//!   registration, safepoints and statistics (§4.2).
+//! * [`barrier`] — cooperative stop-the-world pauses that unify per-thread pin
+//!   sets so a service may relocate unpinned objects (§4.1.3).
+//! * [`service`] — the extensible service interface (§3.5/§4.2.2) through which
+//!   allocators such as Anchorage supply backing memory and perform movement.
+//! * [`malloc_service`] — a pass-through service backed by the non-moving
+//!   free-list allocator, the "Alaska without a service" configuration used for
+//!   the overhead study in Figure 7.
+//!
+//! Backing memory lives in the simulated address space provided by
+//! [`alaska_heap::vmem::VirtualMemory`]; see that crate for the substitution
+//! rationale.
+//!
+//! # Quick start
+//!
+//! ```
+//! use alaska_runtime::runtime::Runtime;
+//!
+//! let rt = Runtime::with_malloc_service();
+//! // Allocate 64 bytes; what we get back is a handle, not a pointer.
+//! let h = rt.halloc(64).expect("allocation");
+//! assert!(alaska_runtime::handle::is_handle(h));
+//!
+//! // Pin the handle to obtain a (temporarily) stable address, write through it.
+//! {
+//!     let pinned = rt.pin(h);
+//!     rt.vm().write_u64(pinned.addr(), 0xDEAD_BEEF);
+//! } // unpinned here: the object may be moved again
+//!
+//! assert_eq!(rt.read_u64(h, 0), 0xDEAD_BEEF);
+//! rt.hfree(h);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod barrier;
+pub mod error;
+pub mod handle;
+pub mod handle_table;
+pub mod malloc_service;
+pub mod pinset;
+pub mod runtime;
+pub mod service;
+pub mod stats;
+pub mod thread;
+
+pub use error::{AlaskaError, Result};
+pub use handle::{Handle, HandleId};
+pub use runtime::Runtime;
+pub use service::{Service, ServiceContext, StoppedWorld};
+
+/// Maximum number of simultaneously live handles supported by the 31-bit
+/// handle ID field (§3.3: "the design effectively limits the number of active
+/// handles in the system to 2^31").
+pub const MAX_HANDLES: u64 = 1 << 31;
+
+/// Maximum object size addressable through a handle: the low 32 bits of a
+/// handle are the intra-object offset, capping objects at 4 GiB (§3.3).
+pub const MAX_OBJECT_SIZE: u64 = 1 << 32;

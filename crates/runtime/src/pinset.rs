@@ -1,0 +1,243 @@
+//! Per-thread pin tracking (paper §3.4, §4.1.3).
+//!
+//! A translated handle must stay **pinned** while raw pointers to its backing
+//! memory are live (in registers, spilled, or — here — held by Rust code).
+//! Alaska avoids atomic per-object pin counts by tracking pins *privately per
+//! thread*:
+//!
+//! * compiled (IR) functions get a statically sized **pin-set frame** on entry;
+//!   each static translation is assigned a slot in that frame by the compiler's
+//!   interference-graph allocator, and the interpreter stores the translated
+//!   handle's bits into its slot (and clears it at release),
+//! * native (Rust-embedded) callers use a simple pin stack via
+//!   [`crate::runtime::Runtime::pin`].
+//!
+//! When a barrier fires, the runtime walks every thread's frames and pin stack
+//! and unions them into a single pinned set — the analogue of parsing LLVM
+//! StackMaps with libunwind.
+
+use crate::handle::{is_handle, Handle, HandleId};
+use std::collections::HashSet;
+
+/// A single function invocation's pin-set frame.
+///
+/// Slot contents are raw 64-bit values: `0` means empty, a handle's bits mean
+/// that handle is pinned by this frame.  Raw pointers never need pinning and
+/// are not stored.
+#[derive(Debug, Clone)]
+pub struct PinFrame {
+    slots: Vec<u64>,
+    /// Identifier of the function that owns the frame (for diagnostics).
+    pub function: String,
+}
+
+impl PinFrame {
+    /// Create a frame with `size` statically allocated slots.
+    pub fn new(function: impl Into<String>, size: usize) -> Self {
+        PinFrame { slots: vec![0; size], function: function.into() }
+    }
+
+    /// Number of slots in the frame.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the frame has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Record that `value` has been translated into slot `slot`.  Raw pointers
+    /// (top bit clear) are recorded as empty — they do not constrain movement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range (a compiler bug: the pin-set sizing
+    /// pass must reserve enough slots).
+    pub fn set(&mut self, slot: usize, value: u64) {
+        assert!(slot < self.slots.len(), "pin slot {slot} out of range ({} slots)", self.slots.len());
+        self.slots[slot] = if is_handle(value) { value } else { 0 };
+    }
+
+    /// Clear slot `slot` (the translation's lifetime ended).
+    pub fn clear(&mut self, slot: usize) {
+        assert!(slot < self.slots.len(), "pin slot {slot} out of range");
+        self.slots[slot] = 0;
+    }
+
+    /// Raw slot contents.
+    pub fn slots(&self) -> &[u64] {
+        &self.slots
+    }
+
+    /// Iterate the handle IDs currently pinned by this frame.
+    pub fn pinned_ids(&self) -> impl Iterator<Item = HandleId> + '_ {
+        self.slots
+            .iter()
+            .filter_map(|&bits| Handle::from_bits(bits).map(|h| h.id()))
+    }
+}
+
+/// All pins owned by one thread: a stack of compiled-function frames plus the
+/// native pin stack used by the embedding API.
+#[derive(Debug, Default)]
+pub struct PinSets {
+    frames: Vec<PinFrame>,
+    native: Vec<u64>,
+}
+
+impl PinSets {
+    /// Create an empty pin-set collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Push a frame for a function invocation with `size` slots.
+    pub fn push_frame(&mut self, function: impl Into<String>, size: usize) {
+        self.frames.push(PinFrame::new(function, size));
+    }
+
+    /// Pop the top frame (function return), releasing all of its pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no frame (unbalanced push/pop — a compiler bug).
+    pub fn pop_frame(&mut self) -> PinFrame {
+        self.frames.pop().expect("pop_frame with no active frame")
+    }
+
+    /// The current (innermost) frame.
+    pub fn top_frame_mut(&mut self) -> Option<&mut PinFrame> {
+        self.frames.last_mut()
+    }
+
+    /// Number of active frames.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Push a native pin (embedding API).  Raw pointers are accepted but add no
+    /// constraint.
+    pub fn push_native(&mut self, value: u64) {
+        self.native.push(value);
+    }
+
+    /// Remove a native pin.  Pins are usually released LIFO, but out-of-order
+    /// release is tolerated (the most recent matching entry is removed).
+    pub fn pop_native(&mut self, value: u64) {
+        if let Some(pos) = self.native.iter().rposition(|&v| v == value) {
+            self.native.remove(pos);
+        }
+    }
+
+    /// Number of native pins currently held.
+    pub fn native_count(&self) -> usize {
+        self.native.len()
+    }
+
+    /// Union of all handle IDs pinned by this thread.
+    pub fn collect_pinned(&self, out: &mut HashSet<HandleId>) {
+        for frame in &self.frames {
+            out.extend(frame.pinned_ids());
+        }
+        out.extend(
+            self.native
+                .iter()
+                .filter_map(|&bits| Handle::from_bits(bits).map(|h| h.id())),
+        );
+    }
+
+    /// Convenience: the pinned set of just this thread.
+    pub fn pinned(&self) -> HashSet<HandleId> {
+        let mut s = HashSet::new();
+        self.collect_pinned(&mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handle::{Handle, HandleId};
+
+    fn h(id: u32) -> u64 {
+        Handle::new(HandleId(id)).bits()
+    }
+
+    #[test]
+    fn frame_set_and_clear() {
+        let mut f = PinFrame::new("test", 3);
+        f.set(0, h(5));
+        f.set(2, h(9));
+        assert_eq!(f.pinned_ids().count(), 2);
+        f.clear(0);
+        let ids: Vec<_> = f.pinned_ids().collect();
+        assert_eq!(ids, vec![HandleId(9)]);
+    }
+
+    #[test]
+    fn raw_pointers_are_not_pinned() {
+        let mut f = PinFrame::new("test", 1);
+        f.set(0, 0x1234);
+        assert_eq!(f.pinned_ids().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_slot_panics() {
+        let mut f = PinFrame::new("test", 1);
+        f.set(1, h(0));
+    }
+
+    #[test]
+    fn frames_stack_and_union() {
+        let mut p = PinSets::new();
+        p.push_frame("outer", 2);
+        p.top_frame_mut().unwrap().set(0, h(1));
+        p.push_frame("inner", 1);
+        p.top_frame_mut().unwrap().set(0, h(2));
+        p.push_native(h(3));
+        let pinned = p.pinned();
+        assert_eq!(pinned.len(), 3);
+        assert!(pinned.contains(&HandleId(1)));
+        assert!(pinned.contains(&HandleId(2)));
+        assert!(pinned.contains(&HandleId(3)));
+
+        p.pop_frame();
+        assert!(!p.pinned().contains(&HandleId(2)), "returning releases the frame's pins");
+        assert_eq!(p.depth(), 1);
+    }
+
+    #[test]
+    fn native_pins_release_out_of_order() {
+        let mut p = PinSets::new();
+        p.push_native(h(1));
+        p.push_native(h(2));
+        p.push_native(h(1));
+        p.pop_native(h(1));
+        assert_eq!(p.native_count(), 2);
+        let pinned = p.pinned();
+        assert!(pinned.contains(&HandleId(1)), "one pin of handle 1 remains");
+        p.pop_native(h(1));
+        p.pop_native(h(2));
+        assert!(p.pinned().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no active frame")]
+    fn unbalanced_pop_panics() {
+        let mut p = PinSets::new();
+        p.pop_frame();
+    }
+
+    #[test]
+    fn same_handle_in_multiple_frames_stays_pinned() {
+        let mut p = PinSets::new();
+        p.push_frame("a", 1);
+        p.top_frame_mut().unwrap().set(0, h(7));
+        p.push_frame("b", 1);
+        p.top_frame_mut().unwrap().set(0, h(7));
+        p.pop_frame();
+        assert!(p.pinned().contains(&HandleId(7)));
+    }
+}

@@ -1,0 +1,770 @@
+//! The Alaska runtime object: `halloc`/`hfree`, translation, pinning,
+//! safepoints and barriers (paper §4.2).
+//!
+//! A [`Runtime`] owns the handle table, the installed [`Service`] and the
+//! registry of threads using handle-backed memory.  It exposes two client
+//! surfaces:
+//!
+//! * a **native embedding API** (`halloc`, [`Runtime::pin`], the `read_*`/
+//!   `write_*` helpers) used by the Rust workloads (the key-value stores of
+//!   Figures 9–12), and
+//! * a **compiler/interpreter API** (`push_pin_frame`, `set_pin_slot`,
+//!   `safepoint`, `external_begin`/`external_end`) used by the `alaska-ir`
+//!   interpreter to execute programs transformed by the `alaska-compiler`
+//!   passes, mirroring the code the real compiler would have emitted.
+//!
+//! Both surfaces funnel through the same handle table, pin tracking and
+//! barrier machinery, so the defragmentation behaviour measured in the figure
+//! harnesses is produced by the same code paths regardless of front end.
+
+use crate::barrier::BarrierController;
+use crate::error::{AlaskaError, Result};
+use crate::handle::{is_handle, Handle, HandleId};
+use crate::handle_table::{HandleTable, HteState};
+use crate::malloc_service::MallocService;
+use crate::service::{DefragOutcome, Service, ServiceContext, StoppedWorld};
+use crate::stats::{RuntimeStats, StatsSnapshot};
+use crate::thread::{ThreadRegistry, ThreadState};
+use alaska_heap::vmem::{VirtAddr, VirtualMemory};
+use alaska_heap::AllocStats;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+static NEXT_RUNTIME_ID: AtomicUsize = AtomicUsize::new(1);
+
+thread_local! {
+    /// Per-thread map from runtime instance ID to this thread's registration.
+    static THREAD_STATES: RefCell<HashMap<usize, Arc<ThreadState>>> = RefCell::new(HashMap::new());
+}
+
+/// The Alaska runtime.  See the [module documentation](self).
+pub struct Runtime {
+    id: usize,
+    vm: VirtualMemory,
+    table: Mutex<HandleTable>,
+    service: Mutex<Box<dyn Service>>,
+    threads: ThreadRegistry,
+    barrier: BarrierController,
+    stats: RuntimeStats,
+    handle_faults: AtomicBool,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("id", &self.id)
+            .field("live_handles", &self.live_handles())
+            .field("service", &self.service_name())
+            .finish()
+    }
+}
+
+/// RAII pin: while this guard lives, the pinned object cannot be moved.
+///
+/// Created by [`Runtime::pin`].  Dropping the guard unpins the handle.
+#[derive(Debug)]
+pub struct Pinned<'rt> {
+    rt: &'rt Runtime,
+    bits: u64,
+    addr: VirtAddr,
+}
+
+impl Pinned<'_> {
+    /// The (currently stable) address of the pinned object plus the handle's
+    /// offset.
+    pub fn addr(&self) -> VirtAddr {
+        self.addr
+    }
+
+    /// The raw handle (or pointer) value that was pinned.
+    pub fn value(&self) -> u64 {
+        self.bits
+    }
+}
+
+impl Drop for Pinned<'_> {
+    fn drop(&mut self) {
+        self.rt.unpin_value(self.bits);
+    }
+}
+
+/// RAII registration of the current thread with a runtime; unregisters on drop.
+#[derive(Debug)]
+pub struct ThreadGuard<'rt> {
+    rt: &'rt Runtime,
+    id: u64,
+}
+
+impl Drop for ThreadGuard<'_> {
+    fn drop(&mut self) {
+        self.rt.threads.unregister(self.id);
+        THREAD_STATES.with(|m| {
+            m.borrow_mut().remove(&self.rt.id);
+        });
+    }
+}
+
+impl Runtime {
+    /// Create a runtime with the given service and a fresh simulated address
+    /// space.
+    pub fn new(service: Box<dyn Service>) -> Self {
+        Self::with_vm(VirtualMemory::default(), service)
+    }
+
+    /// Create a runtime over an existing address space (so an application can
+    /// share the space with non-handle allocations).
+    pub fn with_vm(vm: VirtualMemory, mut service: Box<dyn Service>) -> Self {
+        service.init(&ServiceContext { vm: vm.clone() });
+        Runtime {
+            id: NEXT_RUNTIME_ID.fetch_add(1, Ordering::Relaxed),
+            vm,
+            table: Mutex::new(HandleTable::new()),
+            service: Mutex::new(service),
+            threads: ThreadRegistry::new(),
+            barrier: BarrierController::new(),
+            stats: RuntimeStats::new(),
+            handle_faults: AtomicBool::new(false),
+        }
+    }
+
+    /// Convenience constructor: Alaska with no movement-capable service, using
+    /// the non-moving free-list allocator for backing memory.  This is the
+    /// configuration of the Figure 7 overhead study ("using malloc to allocate
+    /// backing memory").
+    pub fn with_malloc_service() -> Self {
+        let vm = VirtualMemory::default();
+        let service = Box::new(MallocService::new(vm.clone()));
+        Self::with_vm(vm, service)
+    }
+
+    /// The shared address space.
+    pub fn vm(&self) -> &VirtualMemory {
+        &self.vm
+    }
+
+    // ------------------------------------------------------------------
+    // Thread registration and safepoints
+    // ------------------------------------------------------------------
+
+    fn current_thread(&self) -> Arc<ThreadState> {
+        THREAD_STATES.with(|m| {
+            let mut map = m.borrow_mut();
+            map.entry(self.id).or_insert_with(|| self.threads.register()).clone()
+        })
+    }
+
+    /// Explicitly register the current thread, returning a guard that
+    /// unregisters it on drop.  Registration also happens implicitly on first
+    /// use; worker threads that terminate while the runtime is still live
+    /// should prefer the explicit form so barriers do not wait for them.
+    pub fn register_current_thread(&self) -> ThreadGuard<'_> {
+        let state = self.current_thread();
+        ThreadGuard { rt: self, id: state.id }
+    }
+
+    /// Number of threads currently registered.
+    pub fn registered_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// A safepoint poll: the fast path is a single atomic load; if a barrier
+    /// has been requested the thread parks until it completes.  The compiler
+    /// inserts these at loop back-edges, function entries and external-call
+    /// boundaries (§4.1.3).
+    #[inline]
+    pub fn safepoint(&self) {
+        RuntimeStats::bump(&self.stats.safepoint_polls);
+        if self.barrier.is_requested() {
+            let state = self.current_thread();
+            state.safepoint_polls.fetch_add(1, Ordering::Relaxed);
+            self.barrier.park_at_safepoint(&state);
+        }
+    }
+
+    /// Mark the current thread as entering external (non-handle-aware) code.
+    /// Barriers will not wait for it (§4.1.3's straggler handling).
+    pub fn external_begin(&self) {
+        self.safepoint();
+        self.current_thread().in_external.store(true, Ordering::Release);
+    }
+
+    /// Mark the current thread as returning from external code.  Acts as a
+    /// safepoint so the thread cannot race past an in-progress barrier.
+    pub fn external_end(&self) {
+        self.current_thread().in_external.store(false, Ordering::Release);
+        self.safepoint();
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    /// Allocate `size` bytes of handle-backed memory; returns the handle bits
+    /// the application treats as a pointer.
+    ///
+    /// # Errors
+    ///
+    /// * [`AlaskaError::ObjectTooLarge`] if `size` exceeds 4 GiB,
+    /// * [`AlaskaError::HandleTableFull`] if the handle table is exhausted,
+    /// * [`AlaskaError::OutOfMemory`] if the service cannot supply backing memory.
+    pub fn halloc(&self, size: usize) -> Result<u64> {
+        self.safepoint();
+        if size as u64 >= crate::MAX_OBJECT_SIZE {
+            return Err(AlaskaError::ObjectTooLarge { requested: size as u64 });
+        }
+        let id = {
+            let mut table = self.table.lock();
+            table
+                .allocate(VirtAddr::NULL, size as u32)
+                .ok_or(AlaskaError::HandleTableFull)?
+        };
+        let addr = {
+            let mut service = self.service.lock();
+            match service.alloc(size, id) {
+                Some(a) => a,
+                None => {
+                    self.table.lock().release(id);
+                    return Err(AlaskaError::OutOfMemory { requested: size as u64 });
+                }
+            }
+        };
+        self.table.lock().set_backing(id, addr);
+        RuntimeStats::bump(&self.stats.hallocs);
+        Ok(Handle::new(id).bits())
+    }
+
+    /// Free a handle previously returned by [`Runtime::halloc`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlaskaError::InvalidHandle`] if `value` is not a live handle
+    /// (wild free or double free).
+    pub fn hfree(&self, value: u64) -> Result<()> {
+        self.safepoint();
+        let handle = Handle::from_bits(value).ok_or(AlaskaError::InvalidHandle { value })?;
+        let id = handle.id();
+        let (addr, size) = {
+            let table = self.table.lock();
+            let e = table.get(id).ok_or(AlaskaError::InvalidHandle { value })?;
+            (e.backing, e.size)
+        };
+        self.service.lock().free(id, addr, size as usize);
+        self.table.lock().release(id);
+        RuntimeStats::bump(&self.stats.hfrees);
+        Ok(())
+    }
+
+    /// Resize the object behind `value` to `new_size`, preserving its handle
+    /// (the application's "pointer" value does not change — one of the perks of
+    /// the indirection).
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Runtime::halloc`] and [`Runtime::hfree`].
+    pub fn hrealloc(&self, value: u64, new_size: usize) -> Result<u64> {
+        self.safepoint();
+        if new_size as u64 >= crate::MAX_OBJECT_SIZE {
+            return Err(AlaskaError::ObjectTooLarge { requested: new_size as u64 });
+        }
+        let handle = Handle::from_bits(value).ok_or(AlaskaError::InvalidHandle { value })?;
+        let id = handle.id();
+        let (old_addr, old_size) = {
+            let table = self.table.lock();
+            let e = table.get(id).ok_or(AlaskaError::InvalidHandle { value })?;
+            (e.backing, e.size)
+        };
+        let new_addr = {
+            let mut service = self.service.lock();
+            service
+                .alloc(new_size, id)
+                .ok_or(AlaskaError::OutOfMemory { requested: new_size as u64 })?
+        };
+        self.vm.copy(old_addr, new_addr, old_size.min(new_size as u32) as usize);
+        {
+            let mut table = self.table.lock();
+            table.release(id);
+            // Reallocate the same ID so the handle value stays valid.
+            let again = table.allocate(new_addr, new_size as u32);
+            debug_assert_eq!(again, Some(id), "freed entry must be reused immediately");
+        }
+        self.service.lock().free(id, old_addr, old_size as usize);
+        Ok(value)
+    }
+
+    // ------------------------------------------------------------------
+    // Translation and pinning
+    // ------------------------------------------------------------------
+
+    /// Translate a handle (or pass a raw pointer through) to an address.
+    ///
+    /// This is the 6-instruction sequence of Figure 5: a handle check, an ID
+    /// extraction, a handle-table load and an offset add.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlaskaError::InvalidHandle`] for a dangling handle.
+    pub fn translate(&self, value: u64) -> Result<VirtAddr> {
+        RuntimeStats::bump(&self.stats.handle_checks);
+        let handle = match Handle::from_bits(value) {
+            Some(h) => h,
+            None => {
+                RuntimeStats::bump(&self.stats.pointer_passthroughs);
+                return Ok(VirtAddr(value));
+            }
+        };
+        let mut table = self.table.lock();
+        let id = handle.id();
+        let entry = *table.get(id).ok_or(AlaskaError::InvalidHandle { value })?;
+        if self.handle_faults.load(Ordering::Relaxed) && entry.state == HteState::Invalid {
+            // Handle fault (§7): the object was speculatively moved or swapped
+            // out.  Our model services the fault by revalidating the entry.
+            RuntimeStats::bump(&self.stats.handle_faults);
+            table.set_state(id, HteState::Live);
+        }
+        RuntimeStats::bump(&self.stats.translations);
+        Ok(entry.backing.add(handle.offset() as u64))
+    }
+
+    /// Translate and pin: the returned guard keeps the object immobile until
+    /// dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is a dangling handle — using freed memory is undefined
+    /// behaviour in the source program, surfaced loudly here.
+    pub fn pin(&self, value: u64) -> Pinned<'_> {
+        let addr = self
+            .translate(value)
+            .unwrap_or_else(|e| panic!("pin of invalid value {value:#x}: {e}"));
+        if is_handle(value) {
+            let state = self.current_thread();
+            state.pins.lock().push_native(value);
+            RuntimeStats::bump(&self.stats.pins);
+        }
+        Pinned { rt: self, bits: value, addr }
+    }
+
+    fn unpin_value(&self, value: u64) {
+        if is_handle(value) {
+            let state = self.current_thread();
+            state.pins.lock().pop_native(value);
+            RuntimeStats::bump(&self.stats.unpins);
+        }
+    }
+
+    /// Number of handles currently pinned by the calling thread.
+    pub fn current_thread_pin_count(&self) -> usize {
+        self.current_thread().pins.lock().pinned().len()
+    }
+
+    // ------------------------------------------------------------------
+    // Compiler/interpreter pin-frame interface
+    // ------------------------------------------------------------------
+
+    /// Push a pin-set frame of `slots` entries for a compiled-function
+    /// invocation (§4.1.3).
+    pub fn push_pin_frame(&self, function: &str, slots: usize) {
+        self.current_thread().pins.lock().push_frame(function, slots);
+    }
+
+    /// Pop the top pin-set frame (function return).
+    pub fn pop_pin_frame(&self) {
+        self.current_thread().pins.lock().pop_frame();
+    }
+
+    /// Record a translated value into slot `slot` of the current frame and
+    /// return the translation, counting the same events as [`Runtime::translate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlaskaError::InvalidHandle`] for a dangling handle.
+    pub fn translate_into_slot(&self, value: u64, slot: usize) -> Result<VirtAddr> {
+        let addr = self.translate(value)?;
+        if is_handle(value) {
+            let state = self.current_thread();
+            let mut pins = state.pins.lock();
+            let frame = pins
+                .top_frame_mut()
+                .expect("translate_into_slot requires an active pin frame");
+            frame.set(slot, value);
+            RuntimeStats::bump(&self.stats.pins);
+        }
+        Ok(addr)
+    }
+
+    /// Release slot `slot` of the current frame (end of the translation's
+    /// lifetime, as computed by the compiler's liveness analysis).
+    pub fn release_slot(&self, slot: usize) {
+        let state = self.current_thread();
+        let mut pins = state.pins.lock();
+        if let Some(frame) = pins.top_frame_mut() {
+            frame.clear(slot);
+        }
+        RuntimeStats::bump(&self.stats.unpins);
+    }
+
+    // ------------------------------------------------------------------
+    // Memory access helpers (translate + pin for the duration of the access)
+    // ------------------------------------------------------------------
+
+    /// Read `out.len()` bytes from offset `offset` of the object behind `value`.
+    pub fn read_bytes(&self, value: u64, offset: u64, out: &mut [u8]) {
+        let p = self.pin(value);
+        self.vm.read_bytes(p.addr().add(offset), out);
+    }
+
+    /// Write `data` at offset `offset` of the object behind `value`.
+    pub fn write_bytes(&self, value: u64, offset: u64, data: &[u8]) {
+        let p = self.pin(value);
+        self.vm.write_bytes(p.addr().add(offset), data);
+    }
+
+    /// Read a `u64` at offset `offset` of the object behind `value`.
+    pub fn read_u64(&self, value: u64, offset: u64) -> u64 {
+        let p = self.pin(value);
+        self.vm.read_u64(p.addr().add(offset))
+    }
+
+    /// Write a `u64` at offset `offset` of the object behind `value`.
+    pub fn write_u64(&self, value: u64, offset: u64, data: u64) {
+        let p = self.pin(value);
+        self.vm.write_u64(p.addr().add(offset), data);
+    }
+
+    // ------------------------------------------------------------------
+    // Barriers
+    // ------------------------------------------------------------------
+
+    /// Stop the world, unify all threads' pin sets, and run `f` with the
+    /// stopped world.  Other threads resume when `f` returns.
+    pub fn with_stopped_world<R>(&self, f: impl FnOnce(&mut StoppedWorld<'_>) -> R) -> R {
+        let start = Instant::now();
+        let me = self.current_thread();
+        let others: Vec<Arc<ThreadState>> = self
+            .threads
+            .snapshot()
+            .into_iter()
+            .filter(|t| t.id != me.id)
+            .collect();
+        self.barrier.stop_the_world(&others);
+
+        // Unify pin sets from every registered thread (including ourselves).
+        let mut pinned: HashSet<HandleId> = HashSet::new();
+        for t in self.threads.snapshot() {
+            t.pins.lock().collect_pinned(&mut pinned);
+        }
+
+        let result = {
+            let mut table = self.table.lock();
+            let mut world = StoppedWorld::new(&mut table, &pinned, &self.vm, &self.stats);
+            f(&mut world)
+        };
+
+        self.barrier.resume();
+        RuntimeStats::bump(&self.stats.barriers);
+        RuntimeStats::add(&self.stats.barrier_ns, start.elapsed().as_nanos() as u64);
+        result
+    }
+
+    /// Stop the world and let the installed service defragment, bounded by
+    /// `budget_bytes` of copying (`None` = unbounded).
+    pub fn defragment(&self, budget_bytes: Option<u64>) -> DefragOutcome {
+        self.with_stopped_world(|world| {
+            let mut service = self.service.lock();
+            service.defragment(world, budget_bytes)
+        })
+    }
+
+    /// Run `f` with exclusive access to the installed service (for
+    /// service-specific configuration or inspection).
+    pub fn with_service<R>(&self, f: impl FnOnce(&mut dyn Service) -> R) -> R {
+        let mut service = self.service.lock();
+        f(service.as_mut())
+    }
+
+    // ------------------------------------------------------------------
+    // Handle faults (§7 extension)
+    // ------------------------------------------------------------------
+
+    /// Enable or disable the handle-fault check on the translation path.
+    pub fn enable_handle_faults(&self, enabled: bool) {
+        self.handle_faults.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Mark the object behind `value` invalid so the next translation takes the
+    /// fault path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlaskaError::InvalidHandle`] if `value` is not a live handle.
+    pub fn mark_invalid(&self, value: u64) -> Result<()> {
+        let handle = Handle::from_bits(value).ok_or(AlaskaError::InvalidHandle { value })?;
+        let mut table = self.table.lock();
+        if table.get(handle.id()).is_none() {
+            return Err(AlaskaError::InvalidHandle { value });
+        }
+        table.set_state(handle.id(), HteState::Invalid);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Snapshot of the runtime event counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Number of live handles.
+    pub fn live_handles(&self) -> u64 {
+        self.table.lock().live_entries()
+    }
+
+    /// Density of live entries in the handle table (§4.2.1).
+    pub fn handle_table_density(&self) -> f64 {
+        self.table.lock().density()
+    }
+
+    /// Handle-table metadata overhead in bytes.
+    pub fn handle_table_bytes(&self) -> u64 {
+        self.table.lock().metadata_bytes()
+    }
+
+    /// Requested size of the object behind `value`, if it is a live handle.
+    pub fn usable_size(&self, value: u64) -> Option<usize> {
+        let handle = Handle::from_bits(value)?;
+        self.table.lock().get(handle.id()).map(|e| e.size as usize)
+    }
+
+    /// Statistics of the installed service's heap.
+    pub fn service_stats(&self) -> AllocStats {
+        self.service.lock().heap_stats()
+    }
+
+    /// Fragmentation ratio reported by the installed service.
+    pub fn service_fragmentation(&self) -> f64 {
+        self.service.lock().fragmentation()
+    }
+
+    /// Name of the installed service.
+    pub fn service_name(&self) -> &'static str {
+        self.service.lock().name()
+    }
+
+    /// Resident set size of the shared address space.
+    pub fn rss_bytes(&self) -> u64 {
+        self.vm.rss_bytes()
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        let ctx = ServiceContext { vm: self.vm.clone() };
+        self.service.lock().deinit(&ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt() -> Runtime {
+        Runtime::with_malloc_service()
+    }
+
+    #[test]
+    fn halloc_returns_handles_not_pointers() {
+        let rt = rt();
+        let h = rt.halloc(64).unwrap();
+        assert!(is_handle(h));
+        assert_eq!(rt.usable_size(h), Some(64));
+        assert_eq!(rt.live_handles(), 1);
+        rt.hfree(h).unwrap();
+        assert_eq!(rt.live_handles(), 0);
+    }
+
+    #[test]
+    fn read_write_roundtrip_through_handles() {
+        let rt = rt();
+        let h = rt.halloc(256).unwrap();
+        rt.write_u64(h, 0, 0xABCD);
+        rt.write_u64(h, 248, 99);
+        assert_eq!(rt.read_u64(h, 0), 0xABCD);
+        assert_eq!(rt.read_u64(h, 248), 99);
+        rt.write_bytes(h, 8, b"alaska");
+        let mut buf = [0u8; 6];
+        rt.read_bytes(h, 8, &mut buf);
+        assert_eq!(&buf, b"alaska");
+    }
+
+    #[test]
+    fn translate_passes_raw_pointers_through() {
+        let rt = rt();
+        let addr = rt.vm().map(4096);
+        assert_eq!(rt.translate(addr.0).unwrap(), addr);
+        let s = rt.stats();
+        assert_eq!(s.pointer_passthroughs, 1);
+        assert_eq!(s.translations, 0);
+    }
+
+    #[test]
+    fn hfree_of_bad_value_errors() {
+        let rt = rt();
+        assert!(matches!(rt.hfree(0x1234), Err(AlaskaError::InvalidHandle { .. })));
+        let h = rt.halloc(8).unwrap();
+        rt.hfree(h).unwrap();
+        assert!(matches!(rt.hfree(h), Err(AlaskaError::InvalidHandle { .. })));
+    }
+
+    #[test]
+    fn object_too_large_is_rejected() {
+        let rt = rt();
+        assert!(matches!(
+            rt.halloc(1 << 33),
+            Err(AlaskaError::ObjectTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn pinned_objects_are_not_moved_by_barriers() {
+        let rt = rt();
+        let h = rt.halloc(64).unwrap();
+        rt.write_u64(h, 0, 7);
+        let guard = rt.pin(h);
+        let before = guard.addr();
+        // Try to move everything; the pinned object must stay.
+        rt.with_stopped_world(|world| {
+            let id = Handle::from_bits(h).unwrap().id();
+            assert!(world.is_pinned(id));
+            let dst = world.vm().map(4096);
+            assert!(!world.move_object(id, dst));
+        });
+        assert_eq!(rt.translate(h).unwrap(), before);
+        drop(guard);
+        assert_eq!(rt.current_thread_pin_count(), 0);
+    }
+
+    #[test]
+    fn unpinned_objects_move_and_translation_follows() {
+        let rt = rt();
+        let h = rt.halloc(32).unwrap();
+        rt.write_u64(h, 0, 123);
+        let old = rt.translate(h).unwrap();
+        let moved = rt.with_stopped_world(|world| {
+            let id = Handle::from_bits(h).unwrap().id();
+            let dst = world.vm().map(4096);
+            world.move_object(id, dst)
+        });
+        assert!(moved);
+        let new = rt.translate(h).unwrap();
+        assert_ne!(old, new);
+        assert_eq!(rt.read_u64(h, 0), 123, "data follows the object");
+        assert_eq!(rt.stats().objects_moved, 1);
+    }
+
+    #[test]
+    fn hrealloc_preserves_handle_and_contents() {
+        let rt = rt();
+        let h = rt.halloc(16).unwrap();
+        rt.write_u64(h, 0, 555);
+        let h2 = rt.hrealloc(h, 4096).unwrap();
+        assert_eq!(h, h2, "handle value survives realloc");
+        assert_eq!(rt.read_u64(h, 0), 555);
+        assert_eq!(rt.usable_size(h), Some(4096));
+        rt.hfree(h).unwrap();
+    }
+
+    #[test]
+    fn pin_frames_pin_translated_handles() {
+        let rt = rt();
+        let h = rt.halloc(64).unwrap();
+        rt.push_pin_frame("f", 2);
+        rt.translate_into_slot(h, 0).unwrap();
+        assert_eq!(rt.current_thread_pin_count(), 1);
+        rt.release_slot(0);
+        assert_eq!(rt.current_thread_pin_count(), 0);
+        rt.pop_pin_frame();
+    }
+
+    #[test]
+    fn handle_faults_are_counted_and_recovered() {
+        let rt = rt();
+        rt.enable_handle_faults(true);
+        let h = rt.halloc(16).unwrap();
+        rt.write_u64(h, 0, 1);
+        rt.mark_invalid(h).unwrap();
+        // Access takes the fault path once, then the entry is valid again.
+        assert_eq!(rt.read_u64(h, 0), 1);
+        assert_eq!(rt.stats().handle_faults, 1);
+        assert_eq!(rt.read_u64(h, 0), 1);
+        assert_eq!(rt.stats().handle_faults, 1);
+    }
+
+    #[test]
+    fn stats_count_checks_and_translations() {
+        let rt = rt();
+        let h = rt.halloc(8).unwrap();
+        let _ = rt.translate(h).unwrap();
+        let _ = rt.translate(0x1000).unwrap();
+        let s = rt.stats();
+        assert_eq!(s.hallocs, 1);
+        assert_eq!(s.handle_checks, 2);
+        assert_eq!(s.translations, 1);
+        assert_eq!(s.pointer_passthroughs, 1);
+    }
+
+    #[test]
+    fn barrier_from_sole_thread_succeeds() {
+        let rt = rt();
+        let out = rt.defragment(None);
+        assert_eq!(out.objects_moved, 0);
+        assert_eq!(rt.stats().barriers, 1);
+    }
+
+    #[test]
+    fn multithreaded_halloc_and_barrier() {
+        use std::sync::atomic::AtomicBool;
+        let rt = Arc::new(Runtime::with_malloc_service());
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut workers = Vec::new();
+        for _ in 0..4 {
+            let rt = rt.clone();
+            let stop = stop.clone();
+            workers.push(std::thread::spawn(move || {
+                let _guard = rt.register_current_thread();
+                let mut handles = Vec::new();
+                let mut sum = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let h = rt.halloc(64).unwrap();
+                    rt.write_u64(h, 0, 42);
+                    sum += rt.read_u64(h, 0);
+                    handles.push(h);
+                    if handles.len() > 32 {
+                        rt.hfree(handles.remove(0)).unwrap();
+                    }
+                    rt.safepoint();
+                }
+                for h in handles {
+                    rt.hfree(h).unwrap();
+                }
+                sum
+            }));
+        }
+        // Run a few barriers while the workers hammer the runtime.
+        for _ in 0..5 {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            rt.defragment(None);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in workers {
+            assert!(w.join().unwrap() > 0);
+        }
+        assert_eq!(rt.live_handles(), 0);
+        assert!(rt.stats().barriers >= 5);
+    }
+}

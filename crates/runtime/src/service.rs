@@ -1,0 +1,244 @@
+//! The extensible service interface (paper §3.5, §4.2.2).
+//!
+//! Alaska's core runtime does not manage backing memory itself; it defers to a
+//! pluggable **service**.  The paper's interface consists of eight callbacks —
+//! two lifetime functions, two backing-memory functions and four metadata
+//! functions — reproduced here as the [`Service`] trait:
+//!
+//! | paper | here |
+//! |---|---|
+//! | `init` / `deinit` | [`Service::init`] / [`Service::deinit`] |
+//! | `alloc` / `free` | [`Service::alloc`] / [`Service::free`] |
+//! | object size query | [`Service::usable_size`] |
+//! | heap statistics query | [`Service::heap_stats`] |
+//! | fragmentation query | [`Service::fragmentation`] |
+//! | movement / barrier hook | [`Service::defragment`] |
+//!
+//! During a stop-the-world barrier the runtime hands the service a
+//! [`StoppedWorld`], through which it can inspect pin status and relocate
+//! unpinned objects; the handle-table update is the only pointer that needs to
+//! change, which is what makes movement `O(1)` per object.
+
+use crate::handle::HandleId;
+use crate::handle_table::{HandleTable, HteState};
+use crate::stats::RuntimeStats;
+use alaska_heap::vmem::{VirtAddr, VirtualMemory};
+use alaska_heap::AllocStats;
+use std::collections::HashSet;
+
+/// Context handed to services at initialization: the shared address space the
+/// service must allocate backing memory from.
+#[derive(Debug, Clone)]
+pub struct ServiceContext {
+    /// The simulated address space shared with the runtime and application.
+    pub vm: VirtualMemory,
+}
+
+/// Result of a [`Service::defragment`] invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DefragOutcome {
+    /// Objects relocated during this barrier.
+    pub objects_moved: u64,
+    /// Bytes copied during this barrier.
+    pub bytes_moved: u64,
+    /// Bytes of physical memory returned to the kernel.
+    pub bytes_released: u64,
+    /// Objects that could not be moved because they were pinned.
+    pub objects_skipped_pinned: u64,
+}
+
+/// A backing-memory service plugged into the Alaska runtime.
+///
+/// Implementations must be `Send`: the runtime may invoke the service from any
+/// registered thread (allocation) or from the barrier initiator (movement).
+pub trait Service: Send {
+    /// Called once when the service is installed into a runtime.
+    fn init(&mut self, _ctx: &ServiceContext) {}
+
+    /// Called when the runtime is torn down.
+    fn deinit(&mut self, _ctx: &ServiceContext) {}
+
+    /// Provide backing memory for a new object of `size` bytes identified by
+    /// handle `id`.  Returns `None` if the request cannot be satisfied.
+    fn alloc(&mut self, size: usize, id: HandleId) -> Option<VirtAddr>;
+
+    /// Release the backing memory of object `id` at `addr` (`size` is the
+    /// originally requested size).
+    fn free(&mut self, id: HandleId, addr: VirtAddr, size: usize);
+
+    /// Usable size of the block at `addr`, if this service owns it.
+    fn usable_size(&self, addr: VirtAddr) -> Option<usize>;
+
+    /// Allocation statistics for the service's heap.
+    fn heap_stats(&self) -> AllocStats;
+
+    /// Current fragmentation estimate (heap extent over live bytes), the `O(1)`
+    /// metric driving the Anchorage control algorithm.
+    fn fragmentation(&self) -> f64 {
+        let st = self.heap_stats();
+        alaska_heap::fragmentation_ratio(st.heap_extent, st.live_bytes)
+    }
+
+    /// Invoked with the world stopped.  The service may move unpinned objects
+    /// through [`StoppedWorld::move_object`] and release memory.  `budget_bytes`
+    /// bounds how many bytes may be copied in this pause (partial
+    /// defragmentation); `None` means unbounded.
+    fn defragment(&mut self, _world: &mut StoppedWorld<'_>, _budget_bytes: Option<u64>) -> DefragOutcome {
+        DefragOutcome::default()
+    }
+
+    /// Service name used in benchmark output.
+    fn name(&self) -> &'static str;
+}
+
+/// A view of the stopped world handed to [`Service::defragment`].
+///
+/// All threads are parked (or in external code) while this value exists, so
+/// the service may move any object that is not pinned.
+pub struct StoppedWorld<'a> {
+    table: &'a mut HandleTable,
+    pinned: &'a HashSet<HandleId>,
+    vm: &'a VirtualMemory,
+    stats: &'a RuntimeStats,
+}
+
+impl<'a> StoppedWorld<'a> {
+    pub(crate) fn new(
+        table: &'a mut HandleTable,
+        pinned: &'a HashSet<HandleId>,
+        vm: &'a VirtualMemory,
+        stats: &'a RuntimeStats,
+    ) -> Self {
+        StoppedWorld { table, pinned, vm, stats }
+    }
+
+    /// The shared address space (for copying object bytes).
+    pub fn vm(&self) -> &VirtualMemory {
+        self.vm
+    }
+
+    /// Whether handle `id` is pinned by any thread and therefore immobile.
+    pub fn is_pinned(&self, id: HandleId) -> bool {
+        self.pinned.contains(&id)
+    }
+
+    /// Number of pinned handles in this pause.
+    pub fn pinned_count(&self) -> usize {
+        self.pinned.len()
+    }
+
+    /// Current backing address of a live handle.
+    pub fn backing(&self, id: HandleId) -> Option<VirtAddr> {
+        self.table.backing(id)
+    }
+
+    /// Requested size of a live handle's object.
+    pub fn size_of(&self, id: HandleId) -> Option<u32> {
+        self.table.get(id).map(|e| e.size)
+    }
+
+    /// All live handle IDs (heap scan).
+    pub fn live_ids(&self) -> Vec<HandleId> {
+        self.table.live_ids().collect()
+    }
+
+    /// Move object `id` to `dst`: copy its bytes and update its handle-table
+    /// entry.  Refuses (returns `false`) if the object is pinned or not live.
+    ///
+    /// The destination region must already be owned by the calling service and
+    /// must not overlap live objects — the runtime cannot check that.
+    pub fn move_object(&mut self, id: HandleId, dst: VirtAddr) -> bool {
+        if self.is_pinned(id) {
+            return false;
+        }
+        let (src, size) = match self.table.get(id) {
+            Some(e) => (e.backing, e.size),
+            None => return false,
+        };
+        if src == dst {
+            return true;
+        }
+        self.vm.copy(src, dst, size as usize);
+        self.table.set_backing(id, dst);
+        RuntimeStats::bump(&self.stats.objects_moved);
+        RuntimeStats::add(&self.stats.bytes_moved, size as u64);
+        true
+    }
+
+    /// Mark a live object invalid (handle-fault path, §7) — used by services
+    /// that speculatively move or swap objects outside barriers.
+    pub fn set_invalid(&mut self, id: HandleId, invalid: bool) {
+        self.table.set_state(id, if invalid { HteState::Invalid } else { HteState::Live });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alaska_heap::vmem::VirtualMemory;
+
+    fn world_parts() -> (HandleTable, HashSet<HandleId>, VirtualMemory, RuntimeStats) {
+        (HandleTable::with_capacity(1024), HashSet::new(), VirtualMemory::shared(4096), RuntimeStats::new())
+    }
+
+    #[test]
+    fn move_object_copies_and_updates_hte() {
+        let (mut table, pinned, vm, stats) = world_parts();
+        let region = vm.map(8192);
+        let src = region;
+        let dst = region.add(4096);
+        vm.write_bytes(src, b"payload!");
+        let id = table.allocate(src, 8).unwrap();
+        {
+            let mut world = StoppedWorld::new(&mut table, &pinned, &vm, &stats);
+            assert!(world.move_object(id, dst));
+        }
+        assert_eq!(table.backing(id), Some(dst));
+        assert_eq!(&vm.read_vec(dst, 8), b"payload!");
+        assert_eq!(stats.snapshot().objects_moved, 1);
+        assert_eq!(stats.snapshot().bytes_moved, 8);
+    }
+
+    #[test]
+    fn pinned_objects_refuse_to_move() {
+        let (mut table, mut pinned, vm, stats) = world_parts();
+        let region = vm.map(8192);
+        let id = table.allocate(region, 16).unwrap();
+        pinned.insert(id);
+        let mut world = StoppedWorld::new(&mut table, &pinned, &vm, &stats);
+        assert!(world.is_pinned(id));
+        assert!(!world.move_object(id, region.add(4096)));
+        assert_eq!(stats.snapshot().objects_moved, 0);
+    }
+
+    #[test]
+    fn moving_to_same_location_is_a_cheap_noop() {
+        let (mut table, pinned, vm, stats) = world_parts();
+        let region = vm.map(4096);
+        let id = table.allocate(region, 16).unwrap();
+        let mut world = StoppedWorld::new(&mut table, &pinned, &vm, &stats);
+        assert!(world.move_object(id, region));
+        assert_eq!(stats.snapshot().bytes_moved, 0);
+    }
+
+    #[test]
+    fn dead_objects_cannot_move() {
+        let (mut table, pinned, vm, stats) = world_parts();
+        let region = vm.map(4096);
+        let id = table.allocate(region, 16).unwrap();
+        table.release(id);
+        let mut world = StoppedWorld::new(&mut table, &pinned, &vm, &stats);
+        assert!(!world.move_object(id, region.add(64)));
+    }
+
+    #[test]
+    fn set_invalid_toggles_state() {
+        let (mut table, pinned, vm, stats) = world_parts();
+        let region = vm.map(4096);
+        let id = table.allocate(region, 16).unwrap();
+        let mut world = StoppedWorld::new(&mut table, &pinned, &vm, &stats);
+        world.set_invalid(id, true);
+        drop(world);
+        assert_eq!(table.get(id).unwrap().state, HteState::Invalid);
+    }
+}

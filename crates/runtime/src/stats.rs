@@ -1,0 +1,157 @@
+//! Runtime event counters.
+//!
+//! Every dynamic event the paper's evaluation reasons about — handle checks,
+//! translations, pins, safepoint polls, barriers, object moves — is counted
+//! here with relaxed atomics so the figure harnesses can report them without
+//! perturbing the measured behaviour.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters describing runtime activity.
+#[derive(Debug, Default)]
+pub struct RuntimeStats {
+    /// `halloc` calls served.
+    pub hallocs: AtomicU64,
+    /// `hfree` calls served.
+    pub hfrees: AtomicU64,
+    /// Handle checks executed (the `cmp`/branch before a potential translation).
+    pub handle_checks: AtomicU64,
+    /// Translations that actually indexed the handle table (value was a handle).
+    pub translations: AtomicU64,
+    /// Values that passed through untouched because they were raw pointers.
+    pub pointer_passthroughs: AtomicU64,
+    /// Native pin operations.
+    pub pins: AtomicU64,
+    /// Native unpin operations.
+    pub unpins: AtomicU64,
+    /// Stop-the-world barriers executed.
+    pub barriers: AtomicU64,
+    /// Total nanoseconds the world was stopped across all barriers.
+    pub barrier_ns: AtomicU64,
+    /// Objects moved by services during barriers.
+    pub objects_moved: AtomicU64,
+    /// Bytes copied by services during barriers.
+    pub bytes_moved: AtomicU64,
+    /// Handle faults taken (invalid-entry accesses with faults enabled).
+    pub handle_faults: AtomicU64,
+    /// Safepoint polls executed across all threads.
+    pub safepoint_polls: AtomicU64,
+}
+
+/// A plain-old-data snapshot of [`RuntimeStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// `halloc` calls served.
+    pub hallocs: u64,
+    /// `hfree` calls served.
+    pub hfrees: u64,
+    /// Handle checks executed.
+    pub handle_checks: u64,
+    /// Translations through the handle table.
+    pub translations: u64,
+    /// Raw-pointer pass-throughs.
+    pub pointer_passthroughs: u64,
+    /// Native pins.
+    pub pins: u64,
+    /// Native unpins.
+    pub unpins: u64,
+    /// Barriers executed.
+    pub barriers: u64,
+    /// Nanoseconds spent with the world stopped.
+    pub barrier_ns: u64,
+    /// Objects moved during barriers.
+    pub objects_moved: u64,
+    /// Bytes copied during barriers.
+    pub bytes_moved: u64,
+    /// Handle faults taken.
+    pub handle_faults: u64,
+    /// Safepoint polls executed.
+    pub safepoint_polls: u64,
+}
+
+impl RuntimeStats {
+    /// Create zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Take a consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            hallocs: self.hallocs.load(Ordering::Relaxed),
+            hfrees: self.hfrees.load(Ordering::Relaxed),
+            handle_checks: self.handle_checks.load(Ordering::Relaxed),
+            translations: self.translations.load(Ordering::Relaxed),
+            pointer_passthroughs: self.pointer_passthroughs.load(Ordering::Relaxed),
+            pins: self.pins.load(Ordering::Relaxed),
+            unpins: self.unpins.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+            barrier_ns: self.barrier_ns.load(Ordering::Relaxed),
+            objects_moved: self.objects_moved.load(Ordering::Relaxed),
+            bytes_moved: self.bytes_moved.load(Ordering::Relaxed),
+            handle_faults: self.handle_faults.load(Ordering::Relaxed),
+            safepoint_polls: self.safepoint_polls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Difference between two snapshots (`self` taken after `earlier`).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            hallocs: self.hallocs - earlier.hallocs,
+            hfrees: self.hfrees - earlier.hfrees,
+            handle_checks: self.handle_checks - earlier.handle_checks,
+            translations: self.translations - earlier.translations,
+            pointer_passthroughs: self.pointer_passthroughs - earlier.pointer_passthroughs,
+            pins: self.pins - earlier.pins,
+            unpins: self.unpins - earlier.unpins,
+            barriers: self.barriers - earlier.barriers,
+            barrier_ns: self.barrier_ns - earlier.barrier_ns,
+            objects_moved: self.objects_moved - earlier.objects_moved,
+            bytes_moved: self.bytes_moved - earlier.bytes_moved,
+            handle_faults: self.handle_faults - earlier.handle_faults,
+            safepoint_polls: self.safepoint_polls - earlier.safepoint_polls,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_captures_counters() {
+        let s = RuntimeStats::new();
+        RuntimeStats::bump(&s.hallocs);
+        RuntimeStats::add(&s.bytes_moved, 100);
+        let snap = s.snapshot();
+        assert_eq!(snap.hallocs, 1);
+        assert_eq!(snap.bytes_moved, 100);
+        assert_eq!(snap.hfrees, 0);
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let s = RuntimeStats::new();
+        RuntimeStats::bump(&s.translations);
+        let a = s.snapshot();
+        RuntimeStats::add(&s.translations, 5);
+        RuntimeStats::bump(&s.barriers);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.translations, 5);
+        assert_eq!(d.barriers, 1);
+        assert_eq!(d.hallocs, 0);
+    }
+}

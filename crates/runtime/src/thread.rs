@@ -1,0 +1,136 @@
+//! Thread registration and per-thread runtime state.
+//!
+//! Every thread that touches handle-allocated memory owns a [`ThreadState`]:
+//! its private pin sets (see [`crate::pinset`]), whether it is currently parked
+//! at a safepoint, and whether it is executing *external* (non-Alaska) code.
+//! The barrier (paper §4.1.3) only needs two facts per thread: "is it stopped
+//! somewhere its pin sets are valid?" and "which handles does it pin?" — both
+//! are answered from this structure.
+
+use crate::pinset::PinSets;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifier assigned to a registered thread.
+pub type RuntimeThreadId = u64;
+
+/// Per-thread state shared between the thread itself and the barrier
+/// coordinator.
+#[derive(Debug)]
+pub struct ThreadState {
+    /// Registration ID.
+    pub id: RuntimeThreadId,
+    /// The thread's private pin sets.
+    pub pins: Mutex<PinSets>,
+    /// True while the thread is blocked at a safepoint during a barrier.
+    pub parked: AtomicBool,
+    /// True while the thread is executing external (non-handle-aware) code —
+    /// such threads need not reach a safepoint for a barrier to proceed
+    /// because no pins can exist "below" the external call (§4.1.3).
+    pub in_external: AtomicBool,
+    /// Number of safepoint polls executed by this thread (fast + slow path).
+    pub safepoint_polls: AtomicU64,
+}
+
+impl ThreadState {
+    /// Create state for a newly registered thread.
+    pub fn new(id: RuntimeThreadId) -> Arc<Self> {
+        Arc::new(ThreadState {
+            id,
+            pins: Mutex::new(PinSets::new()),
+            parked: AtomicBool::new(false),
+            in_external: AtomicBool::new(false),
+            safepoint_polls: AtomicU64::new(0),
+        })
+    }
+
+    /// Whether the barrier coordinator may treat this thread as stopped.
+    pub fn is_stoppable(&self) -> bool {
+        self.parked.load(Ordering::Acquire) || self.in_external.load(Ordering::Acquire)
+    }
+}
+
+/// The set of threads currently registered with a runtime.
+#[derive(Debug, Default)]
+pub struct ThreadRegistry {
+    threads: Mutex<Vec<Arc<ThreadState>>>,
+    next_id: AtomicU64,
+}
+
+impl ThreadRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new thread and return its state.
+    pub fn register(&self) -> Arc<ThreadState> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let state = ThreadState::new(id);
+        self.threads.lock().push(state.clone());
+        state
+    }
+
+    /// Remove a thread from the registry (its pins vanish with it).
+    pub fn unregister(&self, id: RuntimeThreadId) {
+        self.threads.lock().retain(|t| t.id != id);
+    }
+
+    /// Snapshot of all registered threads.
+    pub fn snapshot(&self) -> Vec<Arc<ThreadState>> {
+        self.threads.lock().clone()
+    }
+
+    /// Number of registered threads.
+    pub fn len(&self) -> usize {
+        self.threads.lock().len()
+    }
+
+    /// Whether no threads are registered.
+    pub fn is_empty(&self) -> bool {
+        self.threads.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_assigns_unique_ids() {
+        let reg = ThreadRegistry::new();
+        let a = reg.register();
+        let b = reg.register();
+        assert_ne!(a.id, b.id);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn unregister_removes_thread() {
+        let reg = ThreadRegistry::new();
+        let a = reg.register();
+        let _b = reg.register();
+        reg.unregister(a.id);
+        assert_eq!(reg.len(), 1);
+        assert!(reg.snapshot().iter().all(|t| t.id != a.id));
+    }
+
+    #[test]
+    fn stoppable_reflects_parked_and_external() {
+        let t = ThreadState::new(0);
+        assert!(!t.is_stoppable());
+        t.parked.store(true, Ordering::Release);
+        assert!(t.is_stoppable());
+        t.parked.store(false, Ordering::Release);
+        t.in_external.store(true, Ordering::Release);
+        assert!(t.is_stoppable());
+    }
+
+    #[test]
+    fn empty_registry_reports_empty() {
+        let reg = ThreadRegistry::new();
+        assert!(reg.is_empty());
+        assert_eq!(reg.len(), 0);
+    }
+}

@@ -1,0 +1,396 @@
+//! A YCSB-like workload generator and latency recorder.
+//!
+//! The paper drives Redis and memcached with the Yahoo! Cloud Serving
+//! Benchmark: workload **A** (50% reads / 50% updates, zipfian key
+//! popularity) for read latencies and the memcached pause study, and workload
+//! **F** (read-modify-write) for update/write latencies.  This crate
+//! reproduces the parts of YCSB those experiments need: zipfian and uniform
+//! key choosers, the operation mix, and latency histograms with percentile
+//! queries.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which standard YCSB mix to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Workload A: 50% read, 50% update, zipfian.
+    A,
+    /// Workload B: 95% read, 5% update, zipfian.
+    B,
+    /// Workload C: 100% read, zipfian.
+    C,
+    /// Workload F: read-modify-write, zipfian.
+    F,
+}
+
+/// A single generated operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Read the value of a key.
+    Read(u64),
+    /// Overwrite the value of a key with `len` fresh bytes.
+    Update(u64, usize),
+    /// Insert a new key with `len` bytes.
+    Insert(u64, usize),
+    /// Read a key, then write it back modified.
+    ReadModifyWrite(u64, usize),
+}
+
+impl Op {
+    /// The key this operation targets.
+    pub fn key(&self) -> u64 {
+        match self {
+            Op::Read(k) | Op::Update(k, _) | Op::Insert(k, _) | Op::ReadModifyWrite(k, _) => *k,
+        }
+    }
+
+    /// Whether the operation writes.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, Op::Read(_))
+    }
+}
+
+/// Zipfian key chooser over `[0, n)` using the rejection-inversion free
+/// approximation from the YCSB `ZipfianGenerator`.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2theta: f64,
+}
+
+impl Zipfian {
+    /// Create a zipfian distribution over `n` items with skew `theta`
+    /// (YCSB's default is 0.99).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is not in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipfian needs at least one item");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
+        let zeta = |count: u64, theta: f64| -> f64 {
+            (1..=count).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        };
+        let zetan = zeta(n, theta);
+        let zeta2theta = zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
+        Zipfian { n, theta, alpha, zetan, eta, zeta2theta }
+    }
+
+    /// Draw the next key.
+    pub fn next_key(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let _ = self.zeta2theta;
+        let k = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        k.min(self.n - 1)
+    }
+}
+
+/// Configuration of a workload run.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Which operation mix to produce.
+    pub kind: WorkloadKind,
+    /// Number of distinct keys.
+    pub record_count: u64,
+    /// Value size in bytes.
+    pub value_size: usize,
+    /// Zipfian skew (`0.99` in YCSB's default).
+    pub zipfian_theta: f64,
+    /// Use a uniform chooser instead of zipfian.
+    pub uniform: bool,
+    /// RNG seed, so runs are reproducible.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            kind: WorkloadKind::A,
+            record_count: 10_000,
+            value_size: 100,
+            zipfian_theta: 0.99,
+            uniform: false,
+            seed: 42,
+        }
+    }
+}
+
+/// The workload generator.
+#[derive(Debug)]
+pub struct Workload {
+    config: WorkloadConfig,
+    zipf: Zipfian,
+    rng: StdRng,
+    next_insert_key: u64,
+}
+
+impl Workload {
+    /// Create a generator from `config`.
+    pub fn new(config: WorkloadConfig) -> Self {
+        Workload {
+            zipf: Zipfian::new(config.record_count, config.zipfian_theta),
+            rng: StdRng::seed_from_u64(config.seed),
+            next_insert_key: config.record_count,
+            config,
+        }
+    }
+
+    /// The configuration this generator was built from.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// Operations that load the initial `record_count` keys.
+    pub fn load_phase(&self) -> Vec<Op> {
+        (0..self.config.record_count)
+            .map(|k| Op::Insert(k, self.config.value_size))
+            .collect()
+    }
+
+    fn choose_key(&mut self) -> u64 {
+        if self.config.uniform {
+            self.rng.gen_range(0..self.config.record_count)
+        } else {
+            self.zipf.next_key(&mut self.rng)
+        }
+    }
+
+    /// Generate the next operation of the run phase.
+    pub fn next_op(&mut self) -> Op {
+        let key = self.choose_key();
+        let len = self.config.value_size;
+        let roll: f64 = self.rng.gen();
+        match self.config.kind {
+            WorkloadKind::A => {
+                if roll < 0.5 {
+                    Op::Read(key)
+                } else {
+                    Op::Update(key, len)
+                }
+            }
+            WorkloadKind::B => {
+                if roll < 0.95 {
+                    Op::Read(key)
+                } else {
+                    Op::Update(key, len)
+                }
+            }
+            WorkloadKind::C => Op::Read(key),
+            WorkloadKind::F => {
+                if roll < 0.5 {
+                    Op::Read(key)
+                } else {
+                    Op::ReadModifyWrite(key, len)
+                }
+            }
+        }
+    }
+
+    /// Generate a fresh key for an insert-heavy phase (used by the Redis churn
+    /// workload, which keeps inserting past the memory limit).
+    pub fn next_insert(&mut self, len: usize) -> Op {
+        let key = self.next_insert_key;
+        self.next_insert_key += 1;
+        Op::Insert(key, len)
+    }
+
+    /// Deterministic value bytes for a key (so integrity can be checked).
+    pub fn value_for(key: u64, len: usize) -> Vec<u8> {
+        let mut v = vec![0u8; len];
+        let mut x = key.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        for b in v.iter_mut() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *b = x as u8;
+        }
+        v
+    }
+}
+
+/// A simple latency histogram with microsecond buckets.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistogram {
+    samples_us: Vec<f64>,
+}
+
+impl LatencyHistogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a latency in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.samples_us.push(ns as f64 / 1000.0);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        self.samples_us.iter().sum::<f64>() / self.samples_us.len() as f64
+    }
+
+    /// The `p`-th percentile latency (0 < p <= 100) in microseconds.
+    pub fn percentile_us(&self, p: f64) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+
+    /// Standard deviation in microseconds.
+    pub fn stddev_us(&self) -> f64 {
+        if self.samples_us.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean_us();
+        let var = self.samples_us.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
+            / (self.samples_us.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.samples_us.extend_from_slice(&other.samples_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipfian_prefers_low_keys() {
+        let z = Zipfian::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut low = 0;
+        let draws = 20_000;
+        for _ in 0..draws {
+            if z.next_key(&mut rng) < 100 {
+                low += 1;
+            }
+        }
+        // With theta=0.99, far more than 10% of draws hit the hottest 10% keys.
+        assert!(low as f64 / draws as f64 > 0.4, "zipfian skew too weak: {low}/{draws}");
+    }
+
+    #[test]
+    fn zipfian_keys_are_in_range() {
+        let z = Zipfian::new(50, 0.9);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5000 {
+            assert!(z.next_key(&mut rng) < 50);
+        }
+    }
+
+    #[test]
+    fn workload_a_is_half_reads() {
+        let mut w = Workload::new(WorkloadConfig { kind: WorkloadKind::A, ..Default::default() });
+        let mut reads = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if !w.next_op().is_write() {
+                reads += 1;
+            }
+        }
+        let frac = reads as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.05, "read fraction {frac}");
+    }
+
+    #[test]
+    fn workload_f_mixes_rmw() {
+        let mut w = Workload::new(WorkloadConfig { kind: WorkloadKind::F, ..Default::default() });
+        let ops: Vec<Op> = (0..1000).map(|_| w.next_op()).collect();
+        assert!(ops.iter().any(|o| matches!(o, Op::ReadModifyWrite(_, _))));
+        assert!(ops.iter().any(|o| matches!(o, Op::Read(_))));
+        assert!(!ops.iter().any(|o| matches!(o, Op::Update(_, _))));
+    }
+
+    #[test]
+    fn load_phase_covers_all_keys_once() {
+        let w = Workload::new(WorkloadConfig { record_count: 100, ..Default::default() });
+        let load = w.load_phase();
+        assert_eq!(load.len(), 100);
+        let mut keys: Vec<u64> = load.iter().map(|o| o.key()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 100);
+    }
+
+    #[test]
+    fn generator_is_deterministic_for_a_seed() {
+        let cfg = WorkloadConfig { seed: 99, ..Default::default() };
+        let mut a = Workload::new(cfg);
+        let mut b = Workload::new(cfg);
+        for _ in 0..100 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn values_are_deterministic_per_key() {
+        assert_eq!(Workload::value_for(5, 64), Workload::value_for(5, 64));
+        assert_ne!(Workload::value_for(5, 64), Workload::value_for(6, 64));
+    }
+
+    #[test]
+    fn histogram_percentiles_and_mean() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=100u64 {
+            h.record_ns(i * 1000);
+        }
+        assert_eq!(h.len(), 100);
+        assert!((h.mean_us() - 50.5).abs() < 1e-9);
+        assert!((h.percentile_us(50.0) - 50.0).abs() <= 1.0);
+        assert!((h.percentile_us(99.0) - 99.0).abs() <= 1.0);
+        assert!(h.stddev_us() > 0.0);
+
+        let mut other = LatencyHistogram::new();
+        other.record_ns(1_000_000);
+        h.merge(&other);
+        assert_eq!(h.len(), 101);
+        assert!(h.percentile_us(100.0) >= 999.0);
+    }
+
+    #[test]
+    fn insert_stream_produces_fresh_keys() {
+        let mut w = Workload::new(WorkloadConfig { record_count: 10, ..Default::default() });
+        let a = w.next_insert(100);
+        let b = w.next_insert(100);
+        assert_ne!(a.key(), b.key());
+        assert!(a.key() >= 10);
+    }
+}

@@ -1,0 +1,88 @@
+//! A miniature of the Figure 12 experiment: multithreaded workers hammer a
+//! memcached-like handle-backed store while the main thread periodically stops
+//! the world and relocates objects; per-request latency is reported with and
+//! without pauses.
+//!
+//! Run with: `cargo run --example memcached_pauses --release`
+
+use alaska::AlaskaBuilder;
+use alaska_kvstore::ShardedStore;
+use alaska_ycsb::{LatencyHistogram, Op, Workload, WorkloadConfig, WorkloadKind};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn run(threads: usize, pause_every: Option<Duration>) -> (f64, f64, u64) {
+    let rt = Arc::new(AlaskaBuilder::new().with_anchorage().build());
+    let store = Arc::new(ShardedStore::new(rt.clone(), 16));
+    for k in 0..10_000u64 {
+        store.set(k, &Workload::value_for(k, 128));
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let store = store.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let _guard = store.runtime().register_current_thread();
+                let mut wl = Workload::new(WorkloadConfig {
+                    kind: WorkloadKind::A,
+                    record_count: 10_000,
+                    value_size: 128,
+                    seed: t as u64,
+                    ..Default::default()
+                });
+                let mut hist = LatencyHistogram::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let op = wl.next_op();
+                    let start = Instant::now();
+                    match op {
+                        Op::Read(k) => {
+                            let _ = store.get(k);
+                        }
+                        Op::Update(k, n) | Op::Insert(k, n) | Op::ReadModifyWrite(k, n) => {
+                            store.set(k, &Workload::value_for(k, n))
+                        }
+                    }
+                    hist.record_ns(start.elapsed().as_nanos() as u64);
+                }
+                hist
+            })
+        })
+        .collect();
+
+    let deadline = Instant::now() + Duration::from_millis(300);
+    let mut pauses = 0u64;
+    while Instant::now() < deadline {
+        match pause_every {
+            Some(interval) => {
+                store.runtime().defragment(Some(1 << 20));
+                pauses += 1;
+                std::thread::sleep(interval);
+            }
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+
+    let mut merged = LatencyHistogram::new();
+    for w in workers {
+        merged.merge(&w.join().unwrap());
+    }
+    (merged.mean_us(), merged.percentile_us(99.0), pauses)
+}
+
+fn main() {
+    println!("{:>8} {:>12} {:>10} {:>10} {:>8}", "threads", "pauses", "mean_us", "p99_us", "count");
+    for threads in [2usize, 4] {
+        let (mean, p99, _) = run(threads, None);
+        println!("{threads:>8} {:>12} {mean:>10.1} {p99:>10.1} {:>8}", "none", "-");
+        for interval_ms in [20u64, 100] {
+            let (mean, p99, pauses) = run(threads, Some(Duration::from_millis(interval_ms)));
+            println!("{threads:>8} {:>9} ms {mean:>10.1} {p99:>10.1} {pauses:>8}", interval_ms);
+        }
+    }
+    println!();
+    println!("Shorter pause intervals raise tail latency; longer intervals approach the no-pause line.");
+}

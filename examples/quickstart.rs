@@ -1,0 +1,51 @@
+//! Quickstart: allocate through Alaska handles, watch an object move under a
+//! defragmentation barrier, and confirm the program never notices.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use alaska::{AlaskaBuilder, Handle};
+
+fn main() -> Result<(), alaska::AlaskaError> {
+    // A runtime with the Anchorage defragmenting allocator installed.
+    let rt = AlaskaBuilder::new().with_anchorage().build();
+
+    // `halloc` looks like malloc but returns a *handle*: a 64-bit value with
+    // the top bit set whose middle bits index the handle table.
+    let list: Vec<u64> = (0..10_000).map(|i| {
+        let h = rt.halloc(64).expect("allocation");
+        rt.write_u64(h, 0, i);
+        h
+    }).collect();
+    let sample = list[123];
+    println!("handle for element 123: {:?}", Handle::from_bits(sample).unwrap());
+    println!("currently backed at:    {}", rt.translate(sample)?);
+
+    // Free most objects to fragment the heap, then let Anchorage compact it.
+    for (i, h) in list.iter().enumerate() {
+        if i % 7 != 4 {
+            rt.hfree(*h)?;
+        }
+    }
+    println!("fragmentation before defrag: {:.2}", rt.service_fragmentation());
+    let outcome = rt.defragment(None);
+    println!(
+        "defragmented: moved {} objects ({} bytes), released {} bytes back to the kernel",
+        outcome.objects_moved, outcome.bytes_moved, outcome.bytes_released
+    );
+    println!("fragmentation after defrag:  {:.2}", rt.service_fragmentation());
+
+    // The object moved, but the handle still works and the data followed it.
+    println!("element 123 now backed at: {}", rt.translate(sample)?);
+    assert_eq!(rt.read_u64(sample, 0), 123);
+    println!("element 123 still reads back {}", rt.read_u64(sample, 0));
+
+    // Pinned objects are left alone for as long as the pin guard lives.
+    let pin = rt.pin(sample);
+    let before = pin.addr();
+    rt.defragment(None);
+    assert_eq!(rt.translate(sample)?, before);
+    drop(pin);
+
+    println!("runtime stats: {:?}", rt.stats());
+    Ok(())
+}

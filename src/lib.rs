@@ -1,0 +1,6 @@
+//! Workspace-level umbrella package.
+//!
+//! This package only exists to host the runnable [examples](../examples) and the
+//! cross-crate integration tests under `tests/`. The actual library surface is
+//! the [`alaska`] facade crate and the individual `alaska-*` crates.
+pub use alaska;

@@ -1,0 +1,117 @@
+//! Integration tests for the figure harnesses themselves (at reduced scale),
+//! checking the qualitative results the paper reports.
+
+use alaska::ControlParams;
+use alaska_kvstore::{RedisLike, ValueStorage};
+
+/// Figure 9 shape: Anchorage and activedefrag end well below the baseline,
+/// and Anchorage needs no application cooperation to get there.
+#[test]
+fn figure9_shape_at_small_scale() {
+    use alaska_bench_shim::*;
+    let cfg = small_cfg(6 * 1024 * 1024, 2_500);
+    let baseline = run(Backend::Baseline, &cfg);
+    let anchorage = run(Backend::Anchorage, &cfg);
+    let activedefrag = run(Backend::ActiveDefrag, &cfg);
+    let mesh = run(Backend::Mesh, &cfg);
+
+    assert!(anchorage.steady_rss < baseline.steady_rss);
+    assert!(activedefrag.steady_rss < baseline.steady_rss);
+    assert!(mesh.steady_rss < baseline.steady_rss);
+    let savings = 1.0 - anchorage.steady_rss as f64 / baseline.steady_rss as f64;
+    assert!(savings > 0.15, "Anchorage savings too small: {:.1}%", savings * 100.0);
+    // Anchorage is competitive with the bespoke defragmenter (within 25%).
+    assert!(
+        (anchorage.steady_rss as f64) < activedefrag.steady_rss as f64 * 1.25,
+        "Anchorage should be on par with activedefrag"
+    );
+}
+
+/// Figure 10 shape: aggressive control parameters defragment further than
+/// conservative ones — the envelope is real.
+#[test]
+fn figure10_envelope_orders_aggressive_below_conservative() {
+    use alaska_bench_shim::*;
+    let aggressive = ControlParams {
+        poll_interval_ms: 50,
+        frag_low: 1.05,
+        frag_high: 1.15,
+        alpha: 0.75,
+        overhead_high: 0.25,
+        ..Default::default()
+    };
+    let conservative = ControlParams {
+        poll_interval_ms: 500,
+        frag_low: 1.8,
+        frag_high: 2.5,
+        alpha: 0.05,
+        overhead_high: 0.01,
+        ..Default::default()
+    };
+    let mut cfg = small_cfg(4 * 1024 * 1024, 2_000);
+    cfg.control = aggressive;
+    let a = run(Backend::Anchorage, &cfg);
+    cfg.control = conservative;
+    let c = run(Backend::Anchorage, &cfg);
+    assert!(
+        a.steady_rss < c.steady_rss,
+        "aggressive control ({}) must defragment more than conservative ({})",
+        a.steady_rss,
+        c.steady_rss
+    );
+    assert!(a.passes >= c.passes);
+}
+
+/// The LRU store behaves like a cache regardless of the storage back-end.
+#[test]
+fn redis_like_store_is_backend_agnostic() {
+    use alaska::AlaskaBuilder;
+    use alaska_heap::freelist::FreeListAllocator;
+    use alaska_heap::vmem::VirtualMemory;
+    use alaska_kvstore::{HandleStorage, RawStorage};
+    use std::sync::Arc;
+
+    let vm = VirtualMemory::default();
+    let raw = RawStorage::new(vm.clone(), FreeListAllocator::new(vm), "baseline");
+    let rt = Arc::new(AlaskaBuilder::new().with_anchorage().build());
+    let handles = HandleStorage::new(rt);
+
+    fn exercise<S: ValueStorage>(mut store: RedisLike<S>) -> (usize, u64) {
+        for k in 0..2_000u64 {
+            store.set(k, &vec![k as u8; 64 + (k % 128) as usize]);
+        }
+        for k in 1_900..2_000u64 {
+            assert!(store.get(k).is_some(), "recent key {k} must be present");
+        }
+        (store.len(), store.evictions())
+    }
+    let (len_a, ev_a) = exercise(RedisLike::new(raw, 256 * 1024));
+    let (len_b, ev_b) = exercise(RedisLike::new(handles, 256 * 1024));
+    assert_eq!(len_a, len_b, "eviction decisions must not depend on the backend");
+    assert_eq!(ev_a, ev_b);
+}
+
+/// Small shim re-exporting the bench crate's experiment driver under a terse
+/// name for the tests above.
+mod alaska_bench_shim {
+    pub use alaska_bench::redis::{run_redis_experiment as run, Backend, RedisExperimentConfig};
+    use alaska::ControlParams;
+
+    pub fn small_cfg(maxmemory: u64, duration_ms: u64) -> RedisExperimentConfig {
+        RedisExperimentConfig {
+            maxmemory,
+            duration_ms,
+            sample_interval_ms: 100,
+            control: ControlParams {
+                poll_interval_ms: 100,
+                frag_low: 1.1,
+                frag_high: 1.3,
+                alpha: 0.5,
+                overhead_high: 0.2,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+        .with_fill_factor(2.5)
+    }
+}
