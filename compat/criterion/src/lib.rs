@@ -1,0 +1,215 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This workspace builds in environments with no access to a crates.io
+//! mirror, so the `criterion` dev-dependency is satisfied by this local shim.
+//! It implements the macro and type surface `benches/micro_runtime.rs` uses —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher`], [`BatchSize`],
+//! [`criterion_group!`], [`criterion_main!`] — as a simple wall-clock harness:
+//! warm up, take `sample_size` samples, print the median ns/iter.
+//!
+//! It performs no statistical analysis, outlier rejection or HTML reporting;
+//! the point is that the microbenchmarks compile, run and print comparable
+//! numbers without network access.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How [`Bencher::iter_batched`] sizes its batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state: large batches.
+    SmallInput,
+    /// Large per-iteration state: one setup per measurement.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Measurement driver handed to benchmark closures.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// (median_ns, iterations) of the finished measurement.
+    result: Option<(f64, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: estimate iteration cost while warming caches.
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        let mut warm_iters = 0u64;
+        while Instant::now() < warm_deadline {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter_ns =
+            (self.config.warm_up_time.as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+
+        // Measure: `sample_size` samples splitting the measurement budget.
+        let samples = self.config.sample_size.max(1);
+        let budget_ns = self.config.measurement_time.as_nanos() as f64;
+        let iters_per_sample = ((budget_ns / samples as f64 / per_iter_ns).ceil() as u64).max(1);
+        let mut medians: Vec<f64> = Vec::with_capacity(samples);
+        let mut total_iters = 0u64;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            medians.push(elapsed / iters_per_sample as f64);
+            total_iters += iters_per_sample;
+        }
+        medians.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.result = Some((medians[medians.len() / 2], total_iters));
+    }
+
+    /// Time `routine` over fresh state produced by `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let samples = self.config.sample_size.max(1);
+        let mut medians: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            medians.push(start.elapsed().as_nanos() as f64);
+        }
+        medians.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.result = Some((medians[medians.len() / 2], samples as u64));
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Wall-clock budget for the measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Wall-clock budget for the warm-up phase.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(&self.config, name, f);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { config: &self.config, name: name.to_string() }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(config: &Config, name: &str, mut f: F) {
+    let mut b = Bencher { config, result: None };
+    f(&mut b);
+    match b.result {
+        Some((median_ns, iters)) => {
+            println!("{name:<40} {median_ns:>12.1} ns/iter ({iters} iterations)")
+        }
+        None => println!("{name:<40} (no measurement)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    config: &'a Config,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(self.config, &full, f);
+        self
+    }
+
+    /// Finish the group (matching the criterion API; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+/// Group benchmark functions under one callable, as `criterion_group!` does.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `fn main` running the given groups, as `criterion_main!` does.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_prints() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(2));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("group");
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+}

@@ -69,10 +69,7 @@ impl ControlParams {
     /// operator should hear about immediately.
     pub fn validated(self) -> Self {
         assert!(self.frag_low >= 1.0 && self.frag_low < self.frag_high, "need 1 <= F_lb < F_ub");
-        assert!(
-            self.overhead_high > 0.0 && self.overhead_high <= 1.0,
-            "need 0 < O_ub <= 1"
-        );
+        assert!(self.overhead_high > 0.0 && self.overhead_high <= 1.0, "need 0 < O_ub <= 1");
         assert!(self.alpha > 0.0 && self.alpha <= 1.0, "need 0 < alpha <= 1");
         assert!(self.move_rate_bytes_per_ms > 0, "move rate must be positive");
         self
@@ -182,8 +179,7 @@ impl ControlAlgorithm {
         outcome: &DefragOutcome,
         fragmentation_after: f64,
     ) -> f64 {
-        let pause_ms =
-            outcome.bytes_moved as f64 / self.params.move_rate_bytes_per_ms as f64;
+        let pause_ms = outcome.bytes_moved as f64 / self.params.move_rate_bytes_per_ms as f64;
         self.total_pause_ms += pause_ms;
         self.passes += 1;
         let no_progress = outcome.objects_moved == 0 && outcome.bytes_released == 0;
@@ -216,7 +212,32 @@ impl ControlAlgorithm {
         let outcome = rt.defragment(Some(budget));
         let frag_after = rt.service_fragmentation();
         let pause_ms = self.on_pass_complete(now_ms, &outcome, frag_after);
-        Some(PassReport { at_ms: now_ms, outcome, pause_ms, fragmentation_after: frag_after })
+        let report =
+            PassReport { at_ms: now_ms, outcome, pause_ms, fragmentation_after: frag_after };
+        self.record_report(rt, now_ms, &report);
+        Some(report)
+    }
+
+    /// Publish a [`PassReport`] into the runtime's telemetry hub (if one is
+    /// installed).  Passes are rare, so the by-name registry lookups here are
+    /// harmless.
+    fn record_report(&self, rt: &Runtime, now_ms: u64, report: &PassReport) {
+        let hub = match rt.telemetry() {
+            Some(hub) => hub,
+            None => return,
+        };
+        let registry = hub.registry();
+        registry
+            .histogram(crate::service::names::PASS_PAUSE_US)
+            .record((report.pause_ms * 1000.0) as u64);
+        registry
+            .histogram(crate::service::names::PASS_FRAGMENTATION_X1000)
+            .record((report.fragmentation_after * 1000.0) as u64);
+        registry.gauge(crate::service::names::CONTROL_OVERHEAD).set(self.measured_overhead(now_ms));
+        registry.gauge(crate::service::names::CONTROL_STATE).set(match self.state {
+            ControlState::Waiting => 0.0,
+            ControlState::Defragmenting => 1.0,
+        });
     }
 }
 
@@ -227,7 +248,12 @@ mod tests {
     use alaska_heap::vmem::VirtualMemory;
 
     fn outcome(moved: u64, bytes: u64) -> DefragOutcome {
-        DefragOutcome { objects_moved: moved, bytes_moved: bytes, bytes_released: bytes, ..Default::default() }
+        DefragOutcome {
+            objects_moved: moved,
+            bytes_moved: bytes,
+            bytes_released: bytes,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -279,7 +305,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "F_lb < F_ub")]
     fn invalid_bounds_panic() {
-        ControlAlgorithm::new(ControlParams { frag_low: 2.0, frag_high: 1.5, ..Default::default() });
+        ControlAlgorithm::new(ControlParams {
+            frag_low: 2.0,
+            frag_high: 1.5,
+            ..Default::default()
+        });
     }
 
     #[test]
@@ -320,9 +350,6 @@ mod tests {
             }
         }
         assert!(reports > 0, "controller must have issued passes");
-        assert!(
-            rt.service_fragmentation() < frag_start,
-            "fragmentation should fall under control"
-        );
+        assert!(rt.service_fragmentation() < frag_start, "fragmentation should fall under control");
     }
 }

@@ -54,4 +54,5 @@ pub mod service;
 pub mod subheap;
 
 pub use control::{ControlAlgorithm, ControlParams, ControlState};
+pub use service::names as telemetry_names;
 pub use service::AnchorageService;

@@ -20,10 +20,43 @@ use alaska_heap::vmem::{VirtAddr, VirtualMemory};
 use alaska_heap::{align_up, AllocStats};
 use alaska_runtime::handle::HandleId;
 use alaska_runtime::service::{DefragOutcome, Service, ServiceContext, StoppedWorld};
+use alaska_telemetry::{Counter, Event, Gauge, Telemetry, TelemetrySink};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Default capacity of a single sub-heap.
 pub const DEFAULT_SUBHEAP_CAPACITY: u64 = 64 * 1024 * 1024;
+
+/// Metric names published by Anchorage (stable, used by harnesses and tests).
+pub mod names {
+    /// Gauge of sub-heaps currently reserved.
+    pub const SUBHEAPS: &str = "anchorage_subheaps";
+    /// Gauge of the index of the active (allocation target) sub-heap.
+    pub const ACTIVE_SUBHEAP: &str = "anchorage_active_subheap";
+    /// Counter of bytes ever returned to the kernel with `MADV_DONTNEED`.
+    pub const RELEASED_BYTES: &str = "anchorage_released_bytes";
+    /// Histogram of modelled pause time per control-initiated pass, in
+    /// microseconds.
+    pub const PASS_PAUSE_US: &str = "anchorage_pass_pause_us";
+    /// Histogram of the fragmentation ratio after each control-initiated
+    /// pass, scaled by 1000 (histograms hold integers).
+    pub const PASS_FRAGMENTATION_X1000: &str = "anchorage_pass_fragmentation_x1000";
+    /// Gauge of the controller's measured duty cycle (pause time over
+    /// elapsed simulated time).
+    pub const CONTROL_OVERHEAD: &str = "anchorage_control_overhead";
+    /// Gauge of controller state: 0 = waiting, 1 = defragmenting.
+    pub const CONTROL_STATE: &str = "anchorage_control_state";
+}
+
+/// Resolved metric handles for Anchorage's instrumentation sites.  Created
+/// once in [`Service::attach_telemetry`]; sub-heap lifecycle is rare enough
+/// that caching is about clarity, not speed.
+struct AnchorageTelemetry {
+    hub: Arc<Telemetry>,
+    subheaps: Arc<Gauge>,
+    active: Arc<Gauge>,
+    released: Arc<Counter>,
+}
 
 #[derive(Debug, Clone, Copy)]
 struct ObjRecord {
@@ -62,6 +95,7 @@ pub struct AnchorageService {
     stats: AllocStats,
     /// Total bytes ever released back to the kernel by defragmentation.
     pub total_released: u64,
+    telemetry: Option<AnchorageTelemetry>,
 }
 
 impl AnchorageService {
@@ -83,6 +117,7 @@ impl AnchorageService {
             addr_index: HashMap::new(),
             stats: AllocStats::default(),
             total_released: 0,
+            telemetry: None,
         }
     }
 
@@ -105,6 +140,26 @@ impl AnchorageService {
         self.stats.heap_extent = self.heap_extent();
     }
 
+    /// Publish a sub-heap open (or empty-reuse) at `idx` to the hub, if any.
+    fn note_subheap_open(&self, idx: usize) {
+        if let Some(tel) = &self.telemetry {
+            tel.hub.emit(Event::SubheapOpen {
+                index: idx as u64,
+                capacity: self.subheaps[idx].capacity(),
+            });
+            tel.subheaps.set_u64(self.subheaps.len() as u64);
+            tel.active.set_u64(self.active as u64);
+        }
+    }
+
+    /// Publish an active-sub-heap rotation (defrag changed the destination).
+    fn note_rotate(&self, from: usize, to: usize) {
+        if let Some(tel) = &self.telemetry {
+            tel.hub.emit(Event::SubheapRotate { from: from as u64, to: to as u64 });
+            tel.active.set_u64(to as u64);
+        }
+    }
+
     /// Find a sub-heap able to serve `size`, preferring the active one, then
     /// any empty sub-heap, then a newly reserved one.  Returns the index.
     fn pick_subheap(&mut self, size: u64) -> Option<usize> {
@@ -117,19 +172,19 @@ impl AnchorageService {
         if self.subheaps[self.active].free_listed_bytes() >= rounded {
             return Some(self.active);
         }
-        if let Some(idx) = self
-            .subheaps
-            .iter()
-            .position(|s| s.live_objects() == 0 && s.capacity() >= rounded)
+        if let Some(idx) =
+            self.subheaps.iter().position(|s| s.live_objects() == 0 && s.capacity() >= rounded)
         {
             self.subheaps[idx].reset();
             self.active = idx;
+            self.note_subheap_open(idx);
             return Some(idx);
         }
         let capacity = self.config.subheap_capacity.max(rounded);
         let idx = self.subheaps.len();
         self.subheaps.push(SubHeap::new(idx, &self.vm, capacity));
         self.active = idx;
+        self.note_subheap_open(idx);
         Some(idx)
     }
 
@@ -163,9 +218,8 @@ impl AnchorageService {
             let page = self.vm.page_size() as u64;
             let release_from = align_up(max_live_end, page);
             if old_extent > release_from {
-                let released = self
-                    .vm
-                    .madvise_dontneed(base.add(release_from), old_extent - release_from);
+                let released =
+                    self.vm.madvise_dontneed(base.add(release_from), old_extent - release_from);
                 self.total_released += released;
                 return released;
             }
@@ -190,15 +244,13 @@ impl Service for AnchorageService {
                 let new_idx = self.subheaps.len();
                 self.subheaps.push(SubHeap::new(new_idx, &self.vm, capacity));
                 self.active = new_idx;
+                self.note_subheap_open(new_idx);
                 let a = self.subheaps[new_idx].alloc(size as u64)?;
                 (new_idx, a)
             }
         };
         let rounded = SubHeap::rounded_size(size as u64);
-        self.objects.insert(
-            id,
-            ObjRecord { subheap: idx, addr, rounded, requested: size as u64 },
-        );
+        self.objects.insert(id, ObjRecord { subheap: idx, addr, rounded, requested: size as u64 });
         self.addr_index.insert(addr.0, id);
         self.stats.live_bytes += rounded;
         self.stats.live_objects += 1;
@@ -236,7 +288,11 @@ impl Service for AnchorageService {
         alaska_heap::fragmentation_ratio(self.heap_extent(), self.stats.live_bytes)
     }
 
-    fn defragment(&mut self, world: &mut StoppedWorld<'_>, budget_bytes: Option<u64>) -> DefragOutcome {
+    fn defragment(
+        &mut self,
+        world: &mut StoppedWorld<'_>,
+        budget_bytes: Option<u64>,
+    ) -> DefragOutcome {
         let mut outcome = DefragOutcome::default();
         let budget = budget_bytes.unwrap_or(u64::MAX);
 
@@ -263,7 +319,9 @@ impl Service for AnchorageService {
                         let cap = self.config.subheap_capacity;
                         self.subheaps.push(SubHeap::new(idx, &self.vm, cap));
                         self.active = idx;
+                        self.note_subheap_open(idx);
                     }
+                    self.note_rotate(old_active, self.active);
                     old_active
                 } else {
                     return outcome;
@@ -311,7 +369,12 @@ impl Service for AnchorageService {
             self.addr_index.insert(dst.0, id);
             self.objects.insert(
                 id,
-                ObjRecord { subheap: dst_idx, addr: dst, rounded: rec.rounded, requested: rec.requested },
+                ObjRecord {
+                    subheap: dst_idx,
+                    addr: dst,
+                    rounded: rec.rounded,
+                    requested: rec.requested,
+                },
             );
             outcome.objects_moved += 1;
             outcome.bytes_moved += rec.rounded;
@@ -319,7 +382,26 @@ impl Service for AnchorageService {
 
         outcome.bytes_released = self.trim_and_release(source);
         self.recompute_extent();
+        if let Some(tel) = &self.telemetry {
+            tel.released.add(outcome.bytes_released);
+            tel.subheaps.set_u64(self.subheaps.len() as u64);
+        }
         outcome
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &Arc<Telemetry>) {
+        let registry = telemetry.registry();
+        let tel = AnchorageTelemetry {
+            subheaps: registry.gauge(names::SUBHEAPS),
+            active: registry.gauge(names::ACTIVE_SUBHEAP),
+            released: registry.counter(names::RELEASED_BYTES),
+            hub: Arc::clone(telemetry),
+        };
+        // Seed the gauges so the registry is meaningful before any event fires.
+        tel.subheaps.set_u64(self.subheaps.len() as u64);
+        tel.active.set_u64(self.active as u64);
+        tel.released.store(self.total_released);
+        self.telemetry = Some(tel);
     }
 
     fn name(&self) -> &'static str {
@@ -465,6 +547,89 @@ mod tests {
         assert!(outcome.objects_skipped_pinned >= 1);
         assert_eq!(rt.translate(pinned_handle).unwrap(), addr_before);
         drop(guard);
+    }
+
+    #[test]
+    fn telemetry_records_subheap_lifecycle_and_gauges() {
+        let vm = VirtualMemory::default();
+        let cfg = AnchorageConfig { subheap_capacity: 64 * 1024, ..Default::default() };
+        let rt = Runtime::with_vm(vm.clone(), Box::new(AnchorageService::with_config(vm, cfg)));
+        let hub = Arc::new(Telemetry::new());
+        assert!(rt.install_telemetry(Arc::clone(&hub)));
+
+        // Overflow the first sub-heap so new ones open, then fragment and defrag
+        // so the active sub-heap rotates.
+        let mut handles = Vec::new();
+        for i in 0..2000u64 {
+            let h = rt.halloc(256).unwrap();
+            rt.write_u64(h, 0, i); // touch the page so it becomes resident
+            handles.push(h);
+        }
+        for (i, h) in handles.iter().enumerate() {
+            if i % 5 != 0 {
+                rt.hfree(*h).unwrap();
+            }
+        }
+        rt.defragment(None);
+
+        let snap = hub.registry().snapshot();
+        let subheaps = match snap.get(names::SUBHEAPS) {
+            Some(alaska_telemetry::MetricValue::Gauge(v)) => *v,
+            other => panic!("expected subheap gauge, got {other:?}"),
+        };
+        assert!(subheaps >= 2.0, "overflow must have opened sub-heaps (gauge {subheaps})");
+        match snap.get(names::RELEASED_BYTES) {
+            Some(alaska_telemetry::MetricValue::Counter(v)) => {
+                assert!(*v > 0, "defrag must record released bytes")
+            }
+            other => panic!("expected released counter, got {other:?}"),
+        }
+        let events = hub.ring().snapshot();
+        assert!(
+            events.iter().any(|e| matches!(e.event, Event::SubheapOpen { .. })),
+            "sub-heap opens must be traced"
+        );
+        assert!(
+            events.iter().any(|e| matches!(e.event, Event::DefragPass { .. })),
+            "the runtime traces the defrag pass through the same hub"
+        );
+    }
+
+    #[test]
+    fn control_tick_publishes_pass_histograms() {
+        let rt = runtime();
+        let hub = Arc::new(Telemetry::new());
+        assert!(rt.install_telemetry(Arc::clone(&hub)));
+        let mut handles = Vec::new();
+        for _ in 0..3000u64 {
+            handles.push(rt.halloc(256).unwrap());
+        }
+        for (i, h) in handles.iter().enumerate() {
+            if i % 5 != 0 {
+                rt.hfree(*h).unwrap();
+            }
+        }
+        let mut control = crate::ControlAlgorithm::new(crate::ControlParams::default());
+        let mut now = 0u64;
+        let mut reports = 0u64;
+        while now < 60_000 && rt.service_fragmentation() >= 1.2 {
+            if control.tick(&rt, now).is_some() {
+                reports += 1;
+            }
+            now += 100;
+        }
+        assert!(reports > 0);
+        let snap = hub.registry().snapshot();
+        match snap.get(names::PASS_PAUSE_US) {
+            Some(alaska_telemetry::MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, reports, "one pause sample per control pass")
+            }
+            other => panic!("expected pass pause histogram, got {other:?}"),
+        }
+        match snap.get(names::CONTROL_OVERHEAD) {
+            Some(alaska_telemetry::MetricValue::Gauge(v)) => assert!(*v > 0.0),
+            other => panic!("expected overhead gauge, got {other:?}"),
+        }
     }
 
     #[test]

@@ -77,7 +77,8 @@ fn main() {
         );
     }
 
-    let steadies: Vec<f64> = curves.iter().map(|(_, _, r)| r.steady_rss as f64 / (1024.0 * 1024.0)).collect();
+    let steadies: Vec<f64> =
+        curves.iter().map(|(_, _, r)| r.steady_rss as f64 / (1024.0 * 1024.0)).collect();
     let lo = steadies.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = steadies.iter().cloned().fold(0.0f64, f64::max);
     println!();
@@ -85,9 +86,7 @@ fn main() {
         "Envelope of control: steady-state RSS ranges from {lo:.1} MB (aggressive) to {hi:.1} MB \
          (conservative) — the operator-visible tradeoff between overhead and fragmentation."
     );
-    let summary: Vec<(usize, f64, f64)> = curves
-        .iter()
-        .map(|(i, p, r)| (*i, p.alpha, r.steady_rss as f64))
-        .collect();
+    let summary: Vec<(usize, f64, f64)> =
+        curves.iter().map(|(i, p, r)| (*i, p.alpha, r.steady_rss as f64)).collect();
     emit_json("fig10", &summary);
 }

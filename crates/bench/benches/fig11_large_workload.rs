@@ -9,7 +9,9 @@
 //! because the control algorithm works in ratios, not absolute bytes.
 
 use alaska::ControlParams;
-use alaska_bench::redis::{run_redis_experiment, savings_vs_baseline, Backend, RedisExperimentConfig, ValueSizing};
+use alaska_bench::redis::{
+    run_redis_experiment, savings_vs_baseline, Backend, RedisExperimentConfig, ValueSizing,
+};
 use alaska_bench::{emit_json, env_scale};
 
 fn main() {

@@ -35,7 +35,11 @@ fn main() {
             println!(
                 "{:>8} {:>12} {:>10.1} {:>10.1} {:>10.1} {:>8} {:>12}",
                 r.threads,
-                if r.pause_interval_ms == 0 { "none".to_string() } else { r.pause_interval_ms.to_string() },
+                if r.pause_interval_ms == 0 {
+                    "none".to_string()
+                } else {
+                    r.pause_interval_ms.to_string()
+                },
                 r.mean_us,
                 r.p99_us,
                 r.stddev_us,
@@ -46,13 +50,39 @@ fn main() {
         }
     }
 
+    // The pauses themselves, as measured by the runtime's telemetry registry
+    // (`alaska_barrier_pause_ns`), not by the harness's stopwatch.
+    println!();
+    println!("stop-the-world pause percentiles (telemetry registry):");
+    println!(
+        "{:>8} {:>12} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "threads", "interval_ms", "pauses", "mean_us", "p50_us", "p99_us", "max_us"
+    );
+    for r in all.iter().filter(|r| r.pause_interval_ms > 0) {
+        println!(
+            "{:>8} {:>12} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            r.threads,
+            r.pause_interval_ms,
+            r.pauses,
+            r.mean_pause_us,
+            r.p50_pause_us,
+            r.p99_pause_us,
+            r.max_pause_us
+        );
+    }
+
     // Summary: how much do short pause intervals raise mean latency over the
     // no-pause reference, per thread count?
     println!();
     for &threads in &threads_list {
-        let rows: Vec<&PauseExperimentResult> = all.iter().filter(|r| r.threads == threads).collect();
+        let rows: Vec<&PauseExperimentResult> =
+            all.iter().filter(|r| r.threads == threads).collect();
         let no_pause = rows.iter().find(|r| r.pause_interval_ms == 0).unwrap();
-        let shortest = rows.iter().filter(|r| r.pause_interval_ms > 0).min_by_key(|r| r.pause_interval_ms).unwrap();
+        let shortest = rows
+            .iter()
+            .filter(|r| r.pause_interval_ms > 0)
+            .min_by_key(|r| r.pause_interval_ms)
+            .unwrap();
         let longest = rows.iter().max_by_key(|r| r.pause_interval_ms).unwrap();
         println!(
             "threads {:>2}: no-pause {:.1} us, {} ms interval {:.1} us ({:+.0}%), {} ms interval {:.1} us ({:+.0}%)",

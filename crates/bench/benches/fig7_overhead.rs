@@ -11,7 +11,10 @@ fn main() {
     eprintln!("# Figure 7: Alaska overhead per benchmark (scale {:.2})", scale.0);
     let results = run_overhead_study(scale);
 
-    println!("{:<14} {:>10} {:>14} {:>12} {:>14} {:>12}", "benchmark", "suite", "baseline_cyc", "alaska_cyc", "overhead_%", "translations");
+    println!(
+        "{:<14} {:>10} {:>14} {:>12} {:>14} {:>12}",
+        "benchmark", "suite", "baseline_cyc", "alaska_cyc", "overhead_%", "translations"
+    );
     for r in &results {
         let a = r.config("alaska").expect("alaska config present");
         println!(
@@ -20,11 +23,8 @@ fn main() {
         );
     }
     let geomean = geomean_overhead_pct(&results, "alaska");
-    let without_violators: Vec<_> = results
-        .iter()
-        .filter(|r| r.name != "perlbench" && r.name != "gcc")
-        .cloned()
-        .collect();
+    let without_violators: Vec<_> =
+        results.iter().filter(|r| r.name != "perlbench" && r.name != "gcc").cloned().collect();
     let geomean_no_violators = geomean_overhead_pct(&without_violators, "alaska");
     println!("{:<14} {:>10} {:>14} {:>12} {:>14.1}", "geomean", "ALL", "-", "-", geomean);
     println!(

@@ -20,10 +20,7 @@ fn main() {
         let alaska = r.config("alaska").map(|c| c.overhead_pct).unwrap_or(0.0);
         let notracking = r.config("notracking").map(|c| c.overhead_pct).unwrap_or(0.0);
         let nohoisting = r.config("nohoisting").map(|c| c.overhead_pct).unwrap_or(0.0);
-        println!(
-            "{:<14} {:>12.1} {:>14.1} {:>14.1}",
-            r.name, alaska, notracking, nohoisting
-        );
+        println!("{:<14} {:>12.1} {:>14.1} {:>14.1}", r.name, alaska, notracking, nohoisting);
         rows.push((r.name.clone(), alaska, notracking, nohoisting));
     }
     println!();

@@ -4,7 +4,9 @@
 //! Anchorage vs the baseline) is printed at the end.
 
 use alaska::ControlParams;
-use alaska_bench::redis::{run_redis_experiment, savings_vs_baseline, Backend, RedisExperimentConfig};
+use alaska_bench::redis::{
+    run_redis_experiment, savings_vs_baseline, Backend, RedisExperimentConfig,
+};
 use alaska_bench::{emit_json, env_scale};
 
 fn main() {
@@ -52,7 +54,10 @@ fn main() {
     }
 
     println!();
-    println!("{:<14} {:>12} {:>12} {:>10} {:>10}", "backend", "peak_MB", "steady_MB", "passes", "evictions");
+    println!(
+        "{:<14} {:>12} {:>12} {:>10} {:>10}",
+        "backend", "peak_MB", "steady_MB", "passes", "evictions"
+    );
     for r in &results {
         println!(
             "{:<14} {:>12.1} {:>12.1} {:>10} {:>10}",

@@ -11,14 +11,11 @@
 pub mod memcached;
 pub mod redis;
 
-use serde::Serialize;
+use alaska_telemetry::json::ToJson;
 
 /// Emit a machine-readable copy of a result next to the human-readable rows.
-pub fn emit_json<T: Serialize>(label: &str, value: &T) {
-    match serde_json::to_string(value) {
-        Ok(s) => println!("JSON {label} {s}"),
-        Err(e) => eprintln!("failed to serialize {label}: {e}"),
-    }
+pub fn emit_json<T: ToJson>(label: &str, value: &T) {
+    println!("JSON {label} {}", value.to_json().render());
 }
 
 /// Read an `f64` scale factor from the environment (used to shrink or enlarge

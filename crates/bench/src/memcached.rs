@@ -7,10 +7,12 @@
 //! workers record per-request latency; the figure plots mean latency against
 //! the pause interval for different thread counts.
 
-use alaska::AlaskaBuilder;
+use alaska::runtime::telemetry_names;
+use alaska::{AlaskaBuilder, Telemetry};
 use alaska_kvstore::ShardedStore;
+use alaska_telemetry::json::{object, JsonValue, ToJson};
+use alaska_telemetry::MetricValue;
 use alaska_ycsb::{LatencyHistogram, Op, Workload, WorkloadConfig, WorkloadKind};
-use serde::Serialize;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -47,7 +49,7 @@ impl Default for PauseExperimentConfig {
 }
 
 /// Result of one configuration.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PauseExperimentResult {
     /// Worker thread count.
     pub threads: usize,
@@ -65,13 +67,40 @@ pub struct PauseExperimentResult {
     pub pauses: u64,
     /// Mean pause duration in microseconds.
     pub mean_pause_us: f64,
+    /// Median pause duration in microseconds, from the runtime's
+    /// `alaska_barrier_pause_ns` telemetry histogram.
+    pub p50_pause_us: f64,
+    /// 99th-percentile pause duration in microseconds (same histogram).
+    pub p99_pause_us: f64,
+    /// Longest pause in microseconds (same histogram).
+    pub max_pause_us: f64,
     /// Objects moved across all pauses.
     pub objects_moved: u64,
 }
 
+impl ToJson for PauseExperimentResult {
+    fn to_json(&self) -> JsonValue {
+        object([
+            ("threads", JsonValue::U64(self.threads as u64)),
+            ("pause_interval_ms", JsonValue::U64(self.pause_interval_ms)),
+            ("operations", JsonValue::U64(self.operations)),
+            ("mean_us", JsonValue::F64(self.mean_us)),
+            ("p99_us", JsonValue::F64(self.p99_us)),
+            ("stddev_us", JsonValue::F64(self.stddev_us)),
+            ("pauses", JsonValue::U64(self.pauses)),
+            ("mean_pause_us", JsonValue::F64(self.mean_pause_us)),
+            ("p50_pause_us", JsonValue::F64(self.p50_pause_us)),
+            ("p99_pause_us", JsonValue::F64(self.p99_pause_us)),
+            ("max_pause_us", JsonValue::F64(self.max_pause_us)),
+            ("objects_moved", JsonValue::U64(self.objects_moved)),
+        ])
+    }
+}
+
 /// Run one configuration of the pause experiment.
 pub fn run_pause_experiment(cfg: &PauseExperimentConfig) -> PauseExperimentResult {
-    let rt = Arc::new(AlaskaBuilder::new().with_anchorage().build());
+    let hub = Arc::new(Telemetry::new());
+    let rt = Arc::new(AlaskaBuilder::new().with_anchorage().with_telemetry(hub.clone()).build());
     let store = Arc::new(ShardedStore::new(rt.clone(), 16));
 
     // Preload.
@@ -149,6 +178,14 @@ pub fn run_pause_experiment(cfg: &PauseExperimentConfig) -> PauseExperimentResul
         total_ops += ops;
     }
 
+    // Pause percentiles come from the runtime's own histogram rather than the
+    // harness's stopwatch: the registry sees every barrier, including any the
+    // harness did not initiate.
+    let pause_hist = match hub.registry().snapshot().get(telemetry_names::BARRIER_PAUSE_NS) {
+        Some(MetricValue::Histogram(h)) => Some(*h),
+        _ => None,
+    };
+
     PauseExperimentResult {
         threads: cfg.threads,
         pause_interval_ms: cfg.pause_interval_ms.unwrap_or(0),
@@ -162,6 +199,9 @@ pub fn run_pause_experiment(cfg: &PauseExperimentConfig) -> PauseExperimentResul
         } else {
             pause_time.as_micros() as f64 / pauses as f64
         },
+        p50_pause_us: pause_hist.map_or(0.0, |h| h.p50 as f64 / 1000.0),
+        p99_pause_us: pause_hist.map_or(0.0, |h| h.p99 as f64 / 1000.0),
+        max_pause_us: pause_hist.map_or(0.0, |h| h.max as f64 / 1000.0),
         objects_moved: rt.stats().objects_moved - moved_before,
     }
 }
@@ -185,6 +225,8 @@ mod tests {
         assert!(r.pauses > 0);
         assert!(r.mean_us > 0.0);
         assert!(r.p99_us >= r.mean_us * 0.5);
+        assert!(r.p99_pause_us >= r.p50_pause_us, "histogram percentiles must be ordered");
+        assert!(r.max_pause_us > 0.0, "pauses ran, so the registry histogram must be populated");
     }
 
     #[test]

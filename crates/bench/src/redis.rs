@@ -19,7 +19,7 @@ use alaska_heap::freelist::FreeListAllocator;
 use alaska_heap::mesh::MeshAllocator;
 use alaska_heap::vmem::VirtualMemory;
 use alaska_kvstore::{ArenaStorage, HandleStorage, RawStorage, RedisLike, ValueStorage};
-use serde::Serialize;
+use alaska_telemetry::json::{object, JsonValue, ToJson};
 use std::sync::Arc;
 
 /// Which allocator configuration backs the store.
@@ -122,7 +122,7 @@ impl RedisExperimentConfig {
 }
 
 /// One sample of the RSS-over-time series.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SeriesPoint {
     /// Simulated time in milliseconds.
     pub t_ms: u64,
@@ -134,8 +134,19 @@ pub struct SeriesPoint {
     pub fragmentation: f64,
 }
 
+impl ToJson for SeriesPoint {
+    fn to_json(&self) -> JsonValue {
+        object([
+            ("t_ms", JsonValue::U64(self.t_ms)),
+            ("rss_bytes", JsonValue::U64(self.rss_bytes)),
+            ("live_bytes", JsonValue::U64(self.live_bytes)),
+            ("fragmentation", JsonValue::F64(self.fragmentation)),
+        ])
+    }
+}
+
 /// The result of one backend's run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RedisExperimentResult {
     /// Backend label.
     pub backend: String,
@@ -151,6 +162,19 @@ pub struct RedisExperimentResult {
     pub evictions: u64,
 }
 
+impl ToJson for RedisExperimentResult {
+    fn to_json(&self) -> JsonValue {
+        object([
+            ("backend", JsonValue::Str(self.backend.clone())),
+            ("series", self.series.to_json()),
+            ("peak_rss", JsonValue::U64(self.peak_rss)),
+            ("steady_rss", JsonValue::U64(self.steady_rss)),
+            ("passes", JsonValue::U64(self.passes)),
+            ("evictions", JsonValue::U64(self.evictions)),
+        ])
+    }
+}
+
 fn value_len(sizing: ValueSizing, t_ms: u64, duration_ms: u64, nonce: u64) -> usize {
     match sizing {
         ValueSizing::Fixed(n) => n,
@@ -164,7 +188,10 @@ fn value_len(sizing: ValueSizing, t_ms: u64, duration_ms: u64, nonce: u64) -> us
 }
 
 /// Run the experiment for one backend.
-pub fn run_redis_experiment(backend: Backend, cfg: &RedisExperimentConfig) -> RedisExperimentResult {
+pub fn run_redis_experiment(
+    backend: Backend,
+    cfg: &RedisExperimentConfig,
+) -> RedisExperimentResult {
     let (storage, runtime): (Box<dyn ValueStorage>, Option<Arc<Runtime>>) = match backend {
         Backend::Anchorage => {
             let rt = Arc::new(AlaskaBuilder::new().with_anchorage().build());
@@ -294,7 +321,10 @@ fn alaska_ycsb_value(key: u64, len: usize) -> Vec<u8> {
 
 /// Memory saved at steady state relative to the baseline run — the paper's
 /// "up to 40% in Redis" headline (Figure 1).
-pub fn savings_vs_baseline(result: &RedisExperimentResult, baseline: &RedisExperimentResult) -> f64 {
+pub fn savings_vs_baseline(
+    result: &RedisExperimentResult,
+    baseline: &RedisExperimentResult,
+) -> f64 {
     if baseline.steady_rss == 0 {
         return 0.0;
     }

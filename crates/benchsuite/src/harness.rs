@@ -11,6 +11,34 @@ use alaska_compiler::pipeline::{compile_module, CompileReport, PipelineConfig};
 use alaska_ir::interp::{DynamicCounts, InterpConfig, Interpreter};
 use alaska_ir::module::Module;
 use alaska_runtime::Runtime;
+use alaska_telemetry::Registry;
+
+/// Mirror a run's [`DynamicCounts`] into `registry` as `<prefix>_<field>`
+/// counters (e.g. `fig7_lbm_translations`), so harnesses can export the
+/// interpreter's translation and check activity alongside runtime metrics.
+///
+/// Counters are stored, not added: re-publishing the same run is idempotent.
+pub fn publish_dynamic_counts(registry: &Registry, prefix: &str, counts: &DynamicCounts) {
+    let fields = [
+        ("instructions", counts.instructions),
+        ("loads", counts.loads),
+        ("stores", counts.stores),
+        ("handle_checks", counts.handle_checks),
+        ("translations", counts.translations),
+        ("pins", counts.pins),
+        ("releases", counts.releases),
+        ("safepoints", counts.safepoints),
+        ("mallocs", counts.mallocs),
+        ("frees", counts.frees),
+        ("hallocs", counts.hallocs),
+        ("hfrees", counts.hfrees),
+        ("calls", counts.calls),
+        ("external_calls", counts.external_calls),
+    ];
+    for (name, value) in fields {
+        registry.counter(&format!("{prefix}_{name}")).store(value);
+    }
+}
 
 /// Measurement of one benchmark under one pipeline configuration.
 #[derive(Debug, Clone)]
@@ -52,6 +80,14 @@ impl BenchmarkResult {
     pub fn alaska_overhead_pct(&self) -> f64 {
         self.config("alaska").map(|c| c.overhead_pct).unwrap_or(0.0)
     }
+
+    /// Publish every configuration's dynamic counts into `registry` as
+    /// `<benchmark>_<config>_<field>` counters.
+    pub fn publish(&self, registry: &Registry) {
+        for c in &self.configs {
+            publish_dynamic_counts(registry, &format!("{}_{}", self.name, c.config), &c.dynamic);
+        }
+    }
 }
 
 fn run_module(m: &Module) -> (u64, u64, DynamicCounts) {
@@ -92,7 +128,8 @@ pub fn measure_benchmark(
         let (transformed, report) = compile_module(&module, &effective);
         let (value, cycles, dynamic) = run_module(&transformed);
         assert_eq!(
-            value, baseline_value,
+            value,
+            baseline_value,
             "{}: {} changed the program result",
             bench.name,
             config.label()
@@ -119,15 +156,9 @@ pub fn run_overhead_study(scale: Scale) -> Vec<BenchmarkResult> {
 /// Figure 8: the ablation (alaska / notracking / nohoisting) over the
 /// SPEC-like subset.
 pub fn run_ablation_study(scale: Scale) -> Vec<BenchmarkResult> {
-    let configs = [
-        PipelineConfig::full(),
-        PipelineConfig::no_tracking(),
-        PipelineConfig::no_hoisting(),
-    ];
-    spec_benchmarks()
-        .iter()
-        .map(|b| measure_benchmark(b, &configs, scale))
-        .collect()
+    let configs =
+        [PipelineConfig::full(), PipelineConfig::no_tracking(), PipelineConfig::no_hoisting()];
+    spec_benchmarks().iter().map(|b| measure_benchmark(b, &configs, scale)).collect()
 }
 
 /// Geometric mean of `1 + overhead` minus one, in percent — the "geomean" bar
@@ -190,6 +221,29 @@ mod tests {
         // With hoisting force-disabled, every load/store translates: the
         // dynamic translation count must be of the same order as the accesses.
         assert!(alaska.dynamic.handle_checks * 2 >= alaska.dynamic.loads);
+    }
+
+    #[test]
+    fn dynamic_counts_publish_into_a_registry() {
+        let bench = find_benchmark("crc32").unwrap();
+        let r = measure_benchmark(&bench, &[PipelineConfig::full()], Scale(0.03));
+        let registry = Registry::new();
+        r.publish(&registry);
+        let alaska = r.config("alaska").unwrap();
+        assert_eq!(
+            registry.counter("crc32_alaska_translations").get(),
+            alaska.dynamic.translations
+        );
+        assert_eq!(
+            registry.counter("crc32_alaska_handle_checks").get(),
+            alaska.dynamic.handle_checks
+        );
+        // Idempotent re-publish.
+        r.publish(&registry);
+        assert_eq!(
+            registry.counter("crc32_alaska_translations").get(),
+            alaska.dynamic.translations
+        );
     }
 
     #[test]

@@ -91,10 +91,7 @@ pub struct Benchmark {
 
 impl std::fmt::Debug for Benchmark {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Benchmark")
-            .field("name", &self.name)
-            .field("suite", &self.suite)
-            .finish()
+        f.debug_struct("Benchmark").field("name", &self.name).field("suite", &self.suite).finish()
     }
 }
 

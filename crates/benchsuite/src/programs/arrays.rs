@@ -97,7 +97,12 @@ fn table_kernel(name: &str, n: i64, table_size: i64, passes: i64, chained: bool)
                     } else {
                         v
                     };
-                    let masked = b.binop(bb, BinOp::And, Operand::Value(key), Operand::Const(table_size - 1));
+                    let masked = b.binop(
+                        bb,
+                        BinOp::And,
+                        Operand::Value(key),
+                        Operand::Const(table_size - 1),
+                    );
                     let tslot = elem(b, bb, table, Operand::Value(masked));
                     let tv = b.load(bb, Operand::Value(tslot));
                     let mixed = b.binop(bb, BinOp::Xor, Operand::Value(acc), Operand::Value(tv));
@@ -134,19 +139,24 @@ fn matmult(name: &str, n: i64, reps: i64) -> Module {
                     Operand::Const(n),
                     Operand::Const(0),
                     |b, k_bb, k, acc| {
-                        let a_idx = b.binop(k_bb, BinOp::Add, Operand::Value(row_base), Operand::Value(k));
+                        let a_idx =
+                            b.binop(k_bb, BinOp::Add, Operand::Value(row_base), Operand::Value(k));
                         let a_slot = elem(b, k_bb, a, Operand::Value(a_idx));
                         let av = b.load(k_bb, Operand::Value(a_slot));
                         let b_row = b.binop(k_bb, BinOp::Mul, Operand::Value(k), Operand::Const(n));
-                        let b_idx = b.binop(k_bb, BinOp::Add, Operand::Value(b_row), Operand::Value(j));
+                        let b_idx =
+                            b.binop(k_bb, BinOp::Add, Operand::Value(b_row), Operand::Value(j));
                         let b_slot = elem(b, k_bb, bb_mat, Operand::Value(b_idx));
                         let bv = b.load(k_bb, Operand::Value(b_slot));
-                        let prod = b.binop(k_bb, BinOp::Mul, Operand::Value(av), Operand::Value(bv));
-                        let acc2 = b.binop(k_bb, BinOp::Add, Operand::Value(acc), Operand::Value(prod));
+                        let prod =
+                            b.binop(k_bb, BinOp::Mul, Operand::Value(av), Operand::Value(bv));
+                        let acc2 =
+                            b.binop(k_bb, BinOp::Add, Operand::Value(acc), Operand::Value(prod));
                         (k_bb, Operand::Value(acc2))
                     },
                 );
-                let c_idx = b.binop(k_exit, BinOp::Add, Operand::Value(row_base), Operand::Value(j));
+                let c_idx =
+                    b.binop(k_exit, BinOp::Add, Operand::Value(row_base), Operand::Value(j));
                 let c_slot = elem(b, k_exit, c_mat, Operand::Value(c_idx));
                 b.store(k_exit, Operand::Value(c_slot), Operand::Value(sum));
                 k_exit
@@ -156,19 +166,14 @@ fn matmult(name: &str, n: i64, reps: i64) -> Module {
         i_exit
     });
     // Checksum C's diagonal.
-    let (done, check) = counted_loop_acc(
-        &mut b,
-        exit,
-        Operand::Const(n),
-        Operand::Const(0),
-        |b, bb, i, acc| {
+    let (done, check) =
+        counted_loop_acc(&mut b, exit, Operand::Const(n), Operand::Const(0), |b, bb, i, acc| {
             let idx = b.binop(bb, BinOp::Mul, Operand::Value(i), Operand::Const(n + 1));
             let slot = elem(b, bb, c_mat, Operand::Value(idx));
             let v = b.load(bb, Operand::Value(slot));
             let acc2 = b.binop(bb, BinOp::Add, Operand::Value(acc), Operand::Value(v));
             (bb, Operand::Value(acc2))
-        },
-    );
+        });
     b.free(done, Operand::Value(a));
     b.free(done, Operand::Value(bb_mat));
     b.free(done, Operand::Value(c_mat));
@@ -192,7 +197,8 @@ fn grid_stencil(name: &str, n: i64, iters: i64) -> Module {
         // the grid pointers are loop-invariant inside the i/j nests, so their
         // translations hoist here (as LLVM's LICM would place the selects).
         let parity = b.binop(it_bb, BinOp::And, Operand::Value(it), Operand::Const(1));
-        let from = b.select(it_bb, Operand::Value(parity), Operand::Value(dst), Operand::Value(src));
+        let from =
+            b.select(it_bb, Operand::Value(parity), Operand::Value(dst), Operand::Value(src));
         let to = b.select(it_bb, Operand::Value(parity), Operand::Value(src), Operand::Value(dst));
         let (i_exit, _) = counted_loop(b, it_bb, Operand::Const(n - 2), |b, i_bb, i0| {
             let (j_exit, _) = counted_loop(b, i_bb, Operand::Const(n - 2), |b, j_bb, j0| {
@@ -203,7 +209,8 @@ fn grid_stencil(name: &str, n: i64, iters: i64) -> Module {
                 let mut sum: Option<ValueId> = None;
                 for (di, dj) in [(0i64, 0i64), (-1, 0), (1, 0), (0, -1), (0, 1)] {
                     let off = di * n + dj;
-                    let idx = b.binop(j_bb, BinOp::Add, Operand::Value(center), Operand::Const(off));
+                    let idx =
+                        b.binop(j_bb, BinOp::Add, Operand::Value(center), Operand::Const(off));
                     let slot = elem(b, j_bb, from, Operand::Value(idx));
                     let v = b.load(j_bb, Operand::Value(slot));
                     sum = Some(match sum {
@@ -211,7 +218,8 @@ fn grid_stencil(name: &str, n: i64, iters: i64) -> Module {
                         Some(s) => b.binop(j_bb, BinOp::Add, Operand::Value(s), Operand::Value(v)),
                     });
                 }
-                let avg = b.binop(j_bb, BinOp::Div, Operand::Value(sum.unwrap()), Operand::Const(5));
+                let avg =
+                    b.binop(j_bb, BinOp::Div, Operand::Value(sum.unwrap()), Operand::Const(5));
                 let out_slot = elem(b, j_bb, to, Operand::Value(center));
                 b.store(j_bb, Operand::Value(out_slot), Operand::Value(avg));
                 j_bb
@@ -307,8 +315,10 @@ pub fn build_nbody(s: Scale) -> Module {
                     let pj = b.load(j_bb, Operand::Value(pj_slot));
                     let d = b.binop(j_bb, BinOp::Sub, Operand::Value(pi), Operand::Value(pj));
                     let d2 = b.binop(j_bb, BinOp::Or, Operand::Value(d), Operand::Const(1));
-                    let contrib = b.binop(j_bb, BinOp::Rem, Operand::Const(1_000_003), Operand::Value(d2));
-                    let acc2 = b.binop(j_bb, BinOp::Add, Operand::Value(acc), Operand::Value(contrib));
+                    let contrib =
+                        b.binop(j_bb, BinOp::Rem, Operand::Const(1_000_003), Operand::Value(d2));
+                    let acc2 =
+                        b.binop(j_bb, BinOp::Add, Operand::Value(acc), Operand::Value(contrib));
                     (j_bb, Operand::Value(acc2))
                 },
             );
@@ -320,18 +330,13 @@ pub fn build_nbody(s: Scale) -> Module {
         });
         i_exit
     });
-    let (done, check) = counted_loop_acc(
-        &mut b,
-        exit,
-        Operand::Const(n),
-        Operand::Const(0),
-        |b, bb, i, acc| {
+    let (done, check) =
+        counted_loop_acc(&mut b, exit, Operand::Const(n), Operand::Const(0), |b, bb, i, acc| {
             let slot = elem(b, bb, vel, Operand::Value(i));
             let v = b.load(bb, Operand::Value(slot));
             let acc2 = b.binop(bb, BinOp::Add, Operand::Value(acc), Operand::Value(v));
             (bb, Operand::Value(acc2))
-        },
-    );
+        });
     b.free(done, Operand::Value(pos));
     b.free(done, Operand::Value(vel));
     b.ret(done, Some(Operand::Value(check)));
@@ -367,19 +372,15 @@ pub fn build_sieve(s: Scale) -> Module {
         mark_exit
     });
     // Count zeros.
-    let (done, count) = counted_loop_acc(
-        &mut b,
-        cur,
-        Operand::Const(n),
-        Operand::Const(0),
-        |b, bb, i, acc| {
+    let (done, count) =
+        counted_loop_acc(&mut b, cur, Operand::Const(n), Operand::Const(0), |b, bb, i, acc| {
             let slot = elem(b, bb, sieve, Operand::Value(i));
             let v = b.load(bb, Operand::Value(slot));
-            let is_zero = b.cmp(bb, alaska_ir::module::CmpOp::Eq, Operand::Value(v), Operand::Const(0));
+            let is_zero =
+                b.cmp(bb, alaska_ir::module::CmpOp::Eq, Operand::Value(v), Operand::Const(0));
             let acc2 = b.binop(bb, BinOp::Add, Operand::Value(acc), Operand::Value(is_zero));
             (bb, Operand::Value(acc2))
-        },
-    );
+        });
     b.free(done, Operand::Value(sieve));
     b.ret(done, Some(Operand::Value(count)));
     m.add_function(b.finish());
@@ -421,8 +422,10 @@ pub fn build_sparse_matvec(s: Scale) -> Module {
                     let idx = b.binop(k_bb, BinOp::Add, Operand::Value(start), Operand::Value(k));
                     let col_slot = elem(b, k_bb, cols, Operand::Value(idx));
                     let col_raw = b.load(k_bb, Operand::Value(col_slot));
-                    let col = b.binop(k_bb, BinOp::Rem, Operand::Value(col_raw), Operand::Const(rows));
-                    let col_abs = b.binop(k_bb, BinOp::And, Operand::Value(col), Operand::Const(i64::MAX));
+                    let col =
+                        b.binop(k_bb, BinOp::Rem, Operand::Value(col_raw), Operand::Const(rows));
+                    let col_abs =
+                        b.binop(k_bb, BinOp::And, Operand::Value(col), Operand::Const(i64::MAX));
                     let val_slot = elem(b, k_bb, vals, Operand::Value(idx));
                     let v = b.load(k_bb, Operand::Value(val_slot));
                     let x_slot = elem(b, k_bb, x, Operand::Value(col_abs));
@@ -438,18 +441,13 @@ pub fn build_sparse_matvec(s: Scale) -> Module {
         });
         r_exit
     });
-    let (done, check) = counted_loop_acc(
-        &mut b,
-        exit,
-        Operand::Const(rows),
-        Operand::Const(0),
-        |b, bb, i, acc| {
+    let (done, check) =
+        counted_loop_acc(&mut b, exit, Operand::Const(rows), Operand::Const(0), |b, bb, i, acc| {
             let slot = elem(b, bb, y, Operand::Value(i));
             let v = b.load(bb, Operand::Value(slot));
             let acc2 = b.binop(bb, BinOp::Xor, Operand::Value(acc), Operand::Value(v));
             (bb, Operand::Value(acc2))
-        },
-    );
+        });
     for arr in [cols, vals, x, y] {
         b.free(done, Operand::Value(arr));
     }
@@ -581,19 +579,64 @@ pub fn build_block_encoder(s: Scale) -> Module {
                                 Operand::Const(block),
                                 Operand::Value(acc),
                                 |b, x_bb, x, acc| {
-                                    let gy = b.binop(x_bb, BinOp::Mul, Operand::Value(by), Operand::Const(block));
-                                    let gx = b.binop(x_bb, BinOp::Mul, Operand::Value(bx), Operand::Const(block));
-                                    let row = b.binop(x_bb, BinOp::Add, Operand::Value(gy), Operand::Value(y));
-                                    let col = b.binop(x_bb, BinOp::Add, Operand::Value(gx), Operand::Value(x));
-                                    let rbase = b.binop(x_bb, BinOp::Mul, Operand::Value(row), Operand::Const(dim));
-                                    let idx = b.binop(x_bb, BinOp::Add, Operand::Value(rbase), Operand::Value(col));
+                                    let gy = b.binop(
+                                        x_bb,
+                                        BinOp::Mul,
+                                        Operand::Value(by),
+                                        Operand::Const(block),
+                                    );
+                                    let gx = b.binop(
+                                        x_bb,
+                                        BinOp::Mul,
+                                        Operand::Value(bx),
+                                        Operand::Const(block),
+                                    );
+                                    let row = b.binop(
+                                        x_bb,
+                                        BinOp::Add,
+                                        Operand::Value(gy),
+                                        Operand::Value(y),
+                                    );
+                                    let col = b.binop(
+                                        x_bb,
+                                        BinOp::Add,
+                                        Operand::Value(gx),
+                                        Operand::Value(x),
+                                    );
+                                    let rbase = b.binop(
+                                        x_bb,
+                                        BinOp::Mul,
+                                        Operand::Value(row),
+                                        Operand::Const(dim),
+                                    );
+                                    let idx = b.binop(
+                                        x_bb,
+                                        BinOp::Add,
+                                        Operand::Value(rbase),
+                                        Operand::Value(col),
+                                    );
                                     let fslot = elem(b, x_bb, frame, Operand::Value(idx));
                                     let fv = b.load(x_bb, Operand::Value(fslot));
                                     let rslot = elem(b, x_bb, refframe, Operand::Value(idx));
                                     let rv = b.load(x_bb, Operand::Value(rslot));
-                                    let d = b.binop(x_bb, BinOp::Sub, Operand::Value(fv), Operand::Value(rv));
-                                    let d2 = b.binop(x_bb, BinOp::Xor, Operand::Value(d), Operand::Const(0xff));
-                                    let acc2 = b.binop(x_bb, BinOp::Add, Operand::Value(acc), Operand::Value(d2));
+                                    let d = b.binop(
+                                        x_bb,
+                                        BinOp::Sub,
+                                        Operand::Value(fv),
+                                        Operand::Value(rv),
+                                    );
+                                    let d2 = b.binop(
+                                        x_bb,
+                                        BinOp::Xor,
+                                        Operand::Value(d),
+                                        Operand::Const(0xff),
+                                    );
+                                    let acc2 = b.binop(
+                                        x_bb,
+                                        BinOp::Add,
+                                        Operand::Value(acc),
+                                        Operand::Value(d2),
+                                    );
                                     (x_bb, Operand::Value(acc2))
                                 },
                             );

@@ -80,7 +80,12 @@ fn relaxation(name: &str, nodes: i64, rounds: i64, weighted: bool) -> Module {
                 let dv_slot = elem(b, e_bb, dist, Operand::Value(v));
                 let dv = b.load(e_bb, Operand::Value(dv_slot));
                 let better = b.cmp(e_bb, CmpOp::Lt, Operand::Value(cand), Operand::Value(dv));
-                let newv = b.select(e_bb, Operand::Value(better), Operand::Value(cand), Operand::Value(dv));
+                let newv = b.select(
+                    e_bb,
+                    Operand::Value(better),
+                    Operand::Value(cand),
+                    Operand::Value(dv),
+                );
                 b.store(e_bb, Operand::Value(dv_slot), Operand::Value(newv));
                 e_bb
             });
@@ -98,7 +103,8 @@ fn relaxation(name: &str, nodes: i64, rounds: i64, weighted: bool) -> Module {
             let slot = elem(b, bb, dist, Operand::Value(i));
             let d = b.load(bb, Operand::Value(slot));
             let reached = b.cmp(bb, CmpOp::Lt, Operand::Value(d), Operand::Const(1 << 30));
-            let contrib = b.select(bb, Operand::Value(reached), Operand::Value(d), Operand::Const(0));
+            let contrib =
+                b.select(bb, Operand::Value(reached), Operand::Value(d), Operand::Const(0));
             let acc2 = b.binop(bb, BinOp::Add, Operand::Value(acc), Operand::Value(contrib));
             (bb, Operand::Value(acc2))
         },
@@ -215,7 +221,12 @@ pub fn build_components(s: Scale) -> Module {
                     let vl_slot = elem(b, e_bb, labels, Operand::Value(v));
                     let lv = b.load(e_bb, Operand::Value(vl_slot));
                     let smaller = b.cmp(e_bb, CmpOp::Lt, Operand::Value(lv), Operand::Value(acc));
-                    let best = b.select(e_bb, Operand::Value(smaller), Operand::Value(lv), Operand::Value(acc));
+                    let best = b.select(
+                        e_bb,
+                        Operand::Value(smaller),
+                        Operand::Value(lv),
+                        Operand::Value(acc),
+                    );
                     (e_bb, Operand::Value(best))
                 },
             );
@@ -267,7 +278,8 @@ pub fn build_triangle_count(s: Scale) -> Module {
                     let idx = b.binop(e_bb, BinOp::Add, Operand::Value(base), Operand::Value(e));
                     let nslot = elem(b, e_bb, neighbors, Operand::Value(idx));
                     let v = b.load(e_bb, Operand::Value(nslot));
-                    let vbase = b.binop(e_bb, BinOp::Mul, Operand::Value(v), Operand::Const(DEGREE));
+                    let vbase =
+                        b.binop(e_bb, BinOp::Mul, Operand::Value(v), Operand::Const(DEGREE));
                     // Count common neighbours of u and v.
                     let (w_exit, count) = counted_loop_acc(
                         b,
@@ -275,16 +287,33 @@ pub fn build_triangle_count(s: Scale) -> Module {
                         Operand::Const(DEGREE * DEGREE),
                         Operand::Value(acc_e),
                         |b, w_bb, k, acc| {
-                            let i1 = b.binop(w_bb, BinOp::Div, Operand::Value(k), Operand::Const(DEGREE));
-                            let i2 = b.binop(w_bb, BinOp::Rem, Operand::Value(k), Operand::Const(DEGREE));
-                            let ua = b.binop(w_bb, BinOp::Add, Operand::Value(base), Operand::Value(i1));
-                            let va = b.binop(w_bb, BinOp::Add, Operand::Value(vbase), Operand::Value(i2));
+                            let i1 = b.binop(
+                                w_bb,
+                                BinOp::Div,
+                                Operand::Value(k),
+                                Operand::Const(DEGREE),
+                            );
+                            let i2 = b.binop(
+                                w_bb,
+                                BinOp::Rem,
+                                Operand::Value(k),
+                                Operand::Const(DEGREE),
+                            );
+                            let ua =
+                                b.binop(w_bb, BinOp::Add, Operand::Value(base), Operand::Value(i1));
+                            let va = b.binop(
+                                w_bb,
+                                BinOp::Add,
+                                Operand::Value(vbase),
+                                Operand::Value(i2),
+                            );
                             let us = elem(b, w_bb, neighbors, Operand::Value(ua));
                             let vs = elem(b, w_bb, neighbors, Operand::Value(va));
                             let uw = b.load(w_bb, Operand::Value(us));
                             let vw = b.load(w_bb, Operand::Value(vs));
                             let eq = b.cmp(w_bb, CmpOp::Eq, Operand::Value(uw), Operand::Value(vw));
-                            let acc2 = b.binop(w_bb, BinOp::Add, Operand::Value(acc), Operand::Value(eq));
+                            let acc2 =
+                                b.binop(w_bb, BinOp::Add, Operand::Value(acc), Operand::Value(eq));
                             (w_bb, Operand::Value(acc2))
                         },
                     );
@@ -317,7 +346,8 @@ mod tests {
     #[test]
     fn graph_kernels_verify_and_preserve_semantics() {
         let small = Scale(0.03);
-        for build in [build_bfs, build_sssp, build_pagerank, build_components, build_triangle_count] {
+        for build in [build_bfs, build_sssp, build_pagerank, build_components, build_triangle_count]
+        {
             let m = build(small);
             verify_module(&m).unwrap();
             let baseline = run(&m);

@@ -11,19 +11,14 @@ use alaska_ir::module::{BasicBlockId, BinOp, CmpOp, FunctionBuilder, Module, Ope
 /// the head.  Nodes are allocated front-to-back so traversal order is reversed
 /// allocation order — plenty of pointer chasing either way.
 fn make_list(b: &mut FunctionBuilder, cur: BasicBlockId, n: i64) -> (BasicBlockId, ValueId) {
-    let (exit, head) = counted_loop_acc(
-        b,
-        cur,
-        Operand::Const(n),
-        Operand::Const(0),
-        |b, bb, i, head| {
+    let (exit, head) =
+        counted_loop_acc(b, cur, Operand::Const(n), Operand::Const(0), |b, bb, i, head| {
             let node = b.malloc(bb, Operand::Const(16));
             b.store(bb, Operand::Value(node), Operand::Value(i));
             let next_slot = b.gep(bb, Operand::Value(node), Operand::Const(1), 8);
             b.store(bb, Operand::Value(next_slot), Operand::Value(head));
             (bb, Operand::Value(node))
-        },
-    );
+        });
     (exit, head)
 }
 
@@ -34,28 +29,22 @@ fn traverse_list(
     head: ValueId,
     passes: i64,
 ) -> (BasicBlockId, ValueId) {
-    counted_loop_acc(
-        b,
-        cur,
-        Operand::Const(passes),
-        Operand::Const(0),
-        |b, bb, _p, outer| {
-            let (exit, sum) = while_nonzero_loop(
-                b,
-                bb,
-                Operand::Value(head),
-                Operand::Value(outer),
-                |b, wb, p, acc| {
-                    let v = b.load(wb, Operand::Value(p));
-                    let next_slot = b.gep(wb, Operand::Value(p), Operand::Const(1), 8);
-                    let next = b.load(wb, Operand::Value(next_slot));
-                    let acc2 = b.binop(wb, BinOp::Add, Operand::Value(acc), Operand::Value(v));
-                    (wb, Operand::Value(next), Operand::Value(acc2))
-                },
-            );
-            (exit, Operand::Value(sum))
-        },
-    )
+    counted_loop_acc(b, cur, Operand::Const(passes), Operand::Const(0), |b, bb, _p, outer| {
+        let (exit, sum) = while_nonzero_loop(
+            b,
+            bb,
+            Operand::Value(head),
+            Operand::Value(outer),
+            |b, wb, p, acc| {
+                let v = b.load(wb, Operand::Value(p));
+                let next_slot = b.gep(wb, Operand::Value(p), Operand::Const(1), 8);
+                let next = b.load(wb, Operand::Value(next_slot));
+                let acc2 = b.binop(wb, BinOp::Add, Operand::Value(acc), Operand::Value(v));
+                (wb, Operand::Value(next), Operand::Value(acc2))
+            },
+        );
+        (exit, Operand::Value(sum))
+    })
 }
 
 /// Linked-list library stand-in (sglib): build, traverse many times.
@@ -125,7 +114,12 @@ fn bst_program(name: &str, n_insert: i64, n_search: i64) -> Module {
         Operand::Const(n_search),
         Operand::Const(0),
         |b, bb, i, acc| {
-            let seed = b.binop(bb, BinOp::Mul, Operand::Value(i), Operand::Const(0x9E3779B97F4A7C15u64 as i64));
+            let seed = b.binop(
+                bb,
+                BinOp::Mul,
+                Operand::Value(i),
+                Operand::Const(0x9E3779B97F4A7C15u64 as i64),
+            );
             let (_, key) = lcg_index(b, bb, Operand::Value(seed), 1 << 20);
             let root = b.load(bb, Operand::Value(root_cell));
             let (exit, found) = while_nonzero_loop(
@@ -141,10 +135,20 @@ fn bst_program(name: &str, n_insert: i64, n_search: i64) -> Module {
                     let rslot = b.gep(wb, Operand::Value(p), Operand::Const(2), 8);
                     let lv = b.load(wb, Operand::Value(lslot));
                     let rv = b.load(wb, Operand::Value(rslot));
-                    let child = b.select(wb, Operand::Value(go_left), Operand::Value(lv), Operand::Value(rv));
+                    let child = b.select(
+                        wb,
+                        Operand::Value(go_left),
+                        Operand::Value(lv),
+                        Operand::Value(rv),
+                    );
                     // Stop when found by forcing the next pointer to null.
                     let not_eq = b.binop(wb, BinOp::Xor, Operand::Value(is_eq), Operand::Const(1));
-                    let next = b.select(wb, Operand::Value(not_eq), Operand::Value(child), Operand::Const(0));
+                    let next = b.select(
+                        wb,
+                        Operand::Value(not_eq),
+                        Operand::Value(child),
+                        Operand::Const(0),
+                    );
                     let acc2 = b.binop(wb, BinOp::Add, Operand::Value(acc), Operand::Value(is_eq));
                     (wb, Operand::Value(next), Operand::Value(acc2))
                 },
@@ -182,7 +186,8 @@ fn while_loop_find_slot(
     let go_left = b.cmp(body, CmpOp::Lt, Operand::Value(key), Operand::Value(k));
     let lslot = b.gep(body, Operand::Value(node), Operand::Const(1), 8);
     let rslot = b.gep(body, Operand::Value(node), Operand::Const(2), 8);
-    let next_slot = b.select(body, Operand::Value(go_left), Operand::Value(lslot), Operand::Value(rslot));
+    let next_slot =
+        b.select(body, Operand::Value(go_left), Operand::Value(lslot), Operand::Value(rslot));
     b.add_phi_incoming(slot, body, Operand::Value(next_slot));
     b.br(body, header);
     (exit, slot)
@@ -324,12 +329,8 @@ pub fn build_ir_walker(s: Scale) -> Module {
     let mut b = FunctionBuilder::new("main", 0);
     let entry = b.entry_block();
     // Node layout: [opcode, operand_ptr, next].
-    let (cur, head) = counted_loop_acc(
-        &mut b,
-        entry,
-        Operand::Const(n),
-        Operand::Const(0),
-        |b, bb, i, head| {
+    let (cur, head) =
+        counted_loop_acc(&mut b, entry, Operand::Const(n), Operand::Const(0), |b, bb, i, head| {
             let node = b.malloc(bb, Operand::Const(24));
             b.store(bb, Operand::Value(node), Operand::Value(i));
             let op_slot = b.gep(bb, Operand::Value(node), Operand::Const(1), 8);
@@ -338,8 +339,7 @@ pub fn build_ir_walker(s: Scale) -> Module {
             let next_slot = b.gep(bb, Operand::Value(node), Operand::Const(2), 8);
             b.store(bb, Operand::Value(next_slot), Operand::Value(head));
             (bb, Operand::Value(node))
-        },
-    );
+        });
     let (done, total) = counted_loop_acc(
         &mut b,
         cur,
@@ -365,8 +365,14 @@ pub fn build_ir_walker(s: Scale) -> Module {
                     let contrib = b.phi(merge_bb);
                     b.add_phi_incoming(contrib, wb, Operand::Const(0));
                     b.add_phi_incoming(contrib, deref_bb, Operand::Value(op_opcode));
-                    let with_op = b.binop(merge_bb, BinOp::Add, Operand::Value(acc), Operand::Value(contrib));
-                    let acc2 = b.binop(merge_bb, BinOp::Add, Operand::Value(with_op), Operand::Value(opcode));
+                    let with_op =
+                        b.binop(merge_bb, BinOp::Add, Operand::Value(acc), Operand::Value(contrib));
+                    let acc2 = b.binop(
+                        merge_bb,
+                        BinOp::Add,
+                        Operand::Value(with_op),
+                        Operand::Value(opcode),
+                    );
                     let next_slot = b.gep(merge_bb, Operand::Value(p), Operand::Const(2), 8);
                     let next = b.load(merge_bb, Operand::Value(next_slot));
                     (merge_bb, Operand::Value(next), Operand::Value(acc2))
@@ -418,19 +424,14 @@ pub fn build_merge_sort(s: Scale) -> Module {
         });
         i_exit
     });
-    let (done, check) = counted_loop_acc(
-        &mut b,
-        sorted,
-        Operand::Const(n),
-        Operand::Const(0),
-        |b, bb, i, acc| {
+    let (done, check) =
+        counted_loop_acc(&mut b, sorted, Operand::Const(n), Operand::Const(0), |b, bb, i, acc| {
             let slot = elem(b, bb, arr, Operand::Value(i));
             let v = b.load(bb, Operand::Value(slot));
             let weighted = b.binop(bb, BinOp::Mul, Operand::Value(v), Operand::Value(i));
             let acc2 = b.binop(bb, BinOp::Xor, Operand::Value(acc), Operand::Value(weighted));
             (bb, Operand::Value(acc2))
-        },
-    );
+        });
     b.free(done, Operand::Value(arr));
     b.ret(done, Some(Operand::Value(check)));
     m.add_function(b.finish());

@@ -47,7 +47,8 @@ pub fn build_string_match(s: Scale) -> Module {
         Operand::Const(iters),
         Operand::Const(0),
         |b, bb, _i, acc| {
-            let hit = b.call_external(bb, "strstr", vec![Operand::Value(hay), Operand::Value(needle)]);
+            let hit =
+                b.call_external(bb, "strstr", vec![Operand::Value(hay), Operand::Value(needle)]);
             let len = b.call_external(bb, "strlen", vec![Operand::Value(needle)]);
             let hay_len = b.call_external(bb, "strlen", vec![Operand::Value(hay)]);
             let found = b.cmp(bb, CmpOp::Ne, Operand::Value(hit), Operand::Const(0));
@@ -112,7 +113,12 @@ pub fn build_hash_interpreter(s: Scale) -> Module {
         Operand::Const(lookups),
         Operand::Const(0),
         |b, bb, q, acc| {
-            let seed = b.binop(bb, BinOp::Mul, Operand::Value(q), Operand::Const(0x2545F4914F6CDD1D_u64 as i64));
+            let seed = b.binop(
+                bb,
+                BinOp::Mul,
+                Operand::Value(q),
+                Operand::Const(0x2545F4914F6CDD1D_u64 as i64),
+            );
             let (_, key) = lcg_index(b, bb, Operand::Value(seed), 1 << 24);
             let bucket = b.binop(bb, BinOp::And, Operand::Value(key), Operand::Const(buckets - 1));
             let head_slot = elem(b, bb, table, Operand::Value(bucket));
@@ -127,8 +133,10 @@ pub fn build_hash_interpreter(s: Scale) -> Module {
                     let matches = b.cmp(wb, CmpOp::Eq, Operand::Value(k), Operand::Value(key));
                     let val_slot = b.gep(wb, Operand::Value(p), Operand::Const(1), 8);
                     let v = b.load(wb, Operand::Value(val_slot));
-                    let contrib = b.select(wb, Operand::Value(matches), Operand::Value(v), Operand::Const(0));
-                    let acc2 = b.binop(wb, BinOp::Add, Operand::Value(acc), Operand::Value(contrib));
+                    let contrib =
+                        b.select(wb, Operand::Value(matches), Operand::Value(v), Operand::Const(0));
+                    let acc2 =
+                        b.binop(wb, BinOp::Add, Operand::Value(acc), Operand::Value(contrib));
                     let next_slot = b.gep(wb, Operand::Value(p), Operand::Const(2), 8);
                     let next = b.load(wb, Operand::Value(next_slot));
                     (wb, Operand::Value(next), Operand::Value(acc2))

@@ -58,4 +58,6 @@
 pub mod passes;
 pub mod pipeline;
 
-pub use pipeline::{compile_function, compile_module, CompileReport, FunctionReport, PipelineConfig};
+pub use pipeline::{
+    compile_function, compile_module, CompileReport, FunctionReport, PipelineConfig,
+};

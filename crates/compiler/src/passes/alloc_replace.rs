@@ -47,7 +47,10 @@ mod tests {
         assert_eq!(n, 2);
         assert!(matches!(f.inst(p), Instruction::Halloc { .. }));
         assert!(f.insts.iter().any(|i| matches!(i, Instruction::Hfree { .. })));
-        assert!(!f.insts.iter().any(|i| matches!(i, Instruction::Malloc { .. } | Instruction::Free { .. })));
+        assert!(!f
+            .insts
+            .iter()
+            .any(|i| matches!(i, Instruction::Malloc { .. } | Instruction::Free { .. })));
         assert!(verify_function(&f).is_ok());
     }
 

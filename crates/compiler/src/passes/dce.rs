@@ -56,13 +56,8 @@ pub fn eliminate_dead_code(f: &mut Function) -> usize {
                 .collect();
             if !dead.is_empty() {
                 removed_this_round += dead.len();
-                let keep: Vec<ValueId> = f
-                    .block(bb)
-                    .insts
-                    .iter()
-                    .copied()
-                    .filter(|v| !dead.contains(v))
-                    .collect();
+                let keep: Vec<ValueId> =
+                    f.block(bb).insts.iter().copied().filter(|v| !dead.contains(v)).collect();
                 f.block_mut(bb).insts = keep;
             }
         }

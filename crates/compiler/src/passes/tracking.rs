@@ -60,12 +60,10 @@ fn derived_set(f: &Function, root: ValueId) -> HashSet<ValueId> {
                 if derived.contains(&v) {
                     continue;
                 }
-                if let Instruction::Gep { base, .. } = f.inst(v) {
-                    if let Operand::Value(b) = base {
-                        if derived.contains(b) {
-                            derived.insert(v);
-                            changed = true;
-                        }
+                if let Instruction::Gep { base: Operand::Value(b), .. } = f.inst(v) {
+                    if derived.contains(b) {
+                        derived.insert(v);
+                        changed = true;
                     }
                 }
             }

@@ -130,9 +130,8 @@ pub fn insert_translations(f: &mut Function, hoisting: bool) -> TranslateStats {
                 let t = f.add_inst(Instruction::Translate { value: root, slot: None });
                 match root {
                     Operand::Value(v) => {
-                        let def_bb = f
-                            .defining_block(v)
-                            .expect("root value must be placed in a block");
+                        let def_bb =
+                            f.defining_block(v).expect("root value must be placed in a block");
                         // Insert right after the definition — except that a
                         // φ-root's translation must come after *all* the
                         // block's φ-nodes to keep them a prefix of the block.
@@ -143,9 +142,7 @@ pub fn insert_translations(f: &mut Function, hoisting: bool) -> TranslateStats {
                                 .take_while(|&&i| matches!(f.inst(i), Instruction::Phi { .. }))
                                 .count()
                         } else {
-                            f.position_in_block(def_bb, v)
-                                .expect("root value is in its block")
-                                + 1
+                            f.position_in_block(def_bb, v).expect("root value is in its block") + 1
                         };
                         f.insert_in_block(def_bb, pos, t);
                     }
@@ -293,11 +290,8 @@ mod tests {
         assert!(verify_function(&f).is_ok());
         assert_eq!(stats.per_access, 1, "the single load gets its own translation");
         let body = BasicBlockId(2);
-        let body_has_translate = f
-            .block(body)
-            .insts
-            .iter()
-            .any(|&v| matches!(f.inst(v), Instruction::Translate { .. }));
+        let body_has_translate =
+            f.block(body).insts.iter().any(|&v| matches!(f.inst(v), Instruction::Translate { .. }));
         assert!(body_has_translate, "translation stays inside the loop body");
     }
 

@@ -136,10 +136,7 @@ pub struct CompileReport {
 impl CompileReport {
     /// Total translations inserted across the module.
     pub fn total_translations(&self) -> usize {
-        self.functions
-            .iter()
-            .map(|f| f.hoisted_translations + f.per_access_translations)
-            .sum()
+        self.functions.iter().map(|f| f.hoisted_translations + f.per_access_translations).sum()
     }
 
     /// Total safepoint polls inserted.
@@ -163,7 +160,8 @@ impl CompileReport {
 /// Apply the configured pipeline to a single function (in place), returning
 /// the report.
 pub fn compile_function(f: &mut Function, config: &PipelineConfig) -> FunctionReport {
-    let mut report = FunctionReport { name: f.name.clone(), size_before: f.static_size(), ..Default::default() };
+    let mut report =
+        FunctionReport { name: f.name.clone(), size_before: f.static_size(), ..Default::default() };
     if config.replace_allocations {
         report.allocations_replaced = replace_allocations(f);
         let tstats = insert_translations(f, config.hoisting);
@@ -192,7 +190,8 @@ pub fn compile_function(f: &mut Function, config: &PipelineConfig) -> FunctionRe
 /// transformed module and the report.  The input module is not modified.
 pub fn compile_module(module: &Module, config: &PipelineConfig) -> (Module, CompileReport) {
     let mut out = module.clone();
-    let mut report = CompileReport { config_label: config.label().to_string(), ..Default::default() };
+    let mut report =
+        CompileReport { config_label: config.label().to_string(), ..Default::default() };
     for f in out.functions_mut() {
         report.functions.push(compile_function(f, config));
     }
@@ -266,11 +265,9 @@ mod tests {
         let (base_val, base_cycles) = run(&m);
         assert_eq!(base_val, expected);
 
-        for config in [
-            PipelineConfig::full(),
-            PipelineConfig::no_hoisting(),
-            PipelineConfig::no_tracking(),
-        ] {
+        for config in
+            [PipelineConfig::full(), PipelineConfig::no_hoisting(), PipelineConfig::no_tracking()]
+        {
             let (transformed, report) = compile_module(&m, &config);
             assert!(verify_module(&transformed).is_ok());
             assert!(report.total_translations() > 0);

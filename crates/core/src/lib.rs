@@ -12,6 +12,7 @@
 //! | [`alaska_ir`] | the SSA IR, analyses and cost-model interpreter |
 //! | [`alaska_compiler`] | the Alaska passes (translation insertion, hoisting, tracking, …) |
 //! | [`alaska_heap`] | the simulated virtual-memory substrate and baseline allocators |
+//! | [`alaska_telemetry`] | pause-time histograms, gauges, counters and the structured event trace |
 //!
 //! # Two ways to use it
 //!
@@ -63,14 +64,17 @@ pub use alaska_compiler as compiler;
 pub use alaska_heap as heap;
 pub use alaska_ir as ir;
 pub use alaska_runtime as runtime;
+pub use alaska_telemetry as telemetry;
 
 pub use alaska_anchorage::service::AnchorageConfig;
 pub use alaska_anchorage::{AnchorageService, ControlAlgorithm, ControlParams};
 pub use alaska_compiler::{compile_module, PipelineConfig};
 pub use alaska_heap::vmem::VirtualMemory;
 pub use alaska_runtime::{AlaskaError, Handle, HandleId, Runtime, Service};
+pub use alaska_telemetry::Telemetry;
 
 use alaska_runtime::malloc_service::MallocService;
+use std::sync::Arc;
 
 /// Which backing-memory service an [`AlaskaBuilder`] installs.
 enum ServiceChoice {
@@ -90,6 +94,7 @@ pub struct AlaskaBuilder {
     vm: Option<VirtualMemory>,
     service: ServiceChoice,
     handle_faults: bool,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Default for AlaskaBuilder {
@@ -101,7 +106,12 @@ impl Default for AlaskaBuilder {
 impl AlaskaBuilder {
     /// Start building a runtime with the default (non-moving `malloc`) service.
     pub fn new() -> Self {
-        AlaskaBuilder { vm: None, service: ServiceChoice::Malloc, handle_faults: false }
+        AlaskaBuilder {
+            vm: None,
+            service: ServiceChoice::Malloc,
+            handle_faults: false,
+            telemetry: None,
+        }
     }
 
     /// Use an existing address space instead of creating a fresh one.
@@ -134,16 +144,28 @@ impl AlaskaBuilder {
         self
     }
 
+    /// Install a telemetry hub on the built runtime (and its service).  With
+    /// no hub, instrumentation stays a no-op and costs nothing measurable.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// Build the runtime.
     pub fn build(self) -> Runtime {
         let vm = self.vm.unwrap_or_default();
         let service: Box<dyn Service> = match self.service {
             ServiceChoice::Malloc => Box::new(MallocService::new(vm.clone())),
-            ServiceChoice::Anchorage(cfg) => Box::new(AnchorageService::with_config(vm.clone(), cfg)),
+            ServiceChoice::Anchorage(cfg) => {
+                Box::new(AnchorageService::with_config(vm.clone(), cfg))
+            }
             ServiceChoice::Custom(s) => s,
         };
         let rt = Runtime::with_vm(vm, service);
         rt.enable_handle_faults(self.handle_faults);
+        if let Some(hub) = self.telemetry {
+            rt.install_telemetry(hub);
+        }
         rt
     }
 }
@@ -163,13 +185,33 @@ mod tests {
     #[test]
     fn builder_with_shared_vm_and_handle_faults() {
         let vm = VirtualMemory::default();
-        let rt = AlaskaBuilder::new().with_vm(vm.clone()).with_anchorage().with_handle_faults().build();
+        let rt =
+            AlaskaBuilder::new().with_vm(vm.clone()).with_anchorage().with_handle_faults().build();
         let h = rt.halloc(16).unwrap();
         rt.write_u64(h, 0, 3);
         rt.mark_invalid(h).unwrap();
         assert_eq!(rt.read_u64(h, 0), 3);
         assert_eq!(rt.stats().handle_faults, 1);
         assert_eq!(rt.rss_bytes(), vm.rss_bytes());
+    }
+
+    #[test]
+    fn builder_installs_a_telemetry_hub() {
+        let hub = Arc::new(Telemetry::new());
+        let rt = AlaskaBuilder::new().with_anchorage().with_telemetry(hub.clone()).build();
+        assert!(rt.telemetry().is_some());
+        let handles: Vec<u64> = (0..500).map(|_| rt.halloc(128).unwrap()).collect();
+        for (i, h) in handles.iter().enumerate() {
+            if i % 3 != 0 {
+                rt.hfree(*h).unwrap();
+            }
+        }
+        rt.defragment(None);
+        let snap = hub.registry().snapshot();
+        match snap.get(alaska_runtime::telemetry_names::BARRIER_PAUSE_NS) {
+            Some(telemetry::MetricValue::Histogram(h)) => assert!(h.count >= 1),
+            other => panic!("expected pause histogram after defragment, got {other:?}"),
+        }
     }
 
     #[test]
@@ -195,7 +237,11 @@ mod tests {
                 None
             }
             fn heap_stats(&self) -> alaska_heap::AllocStats {
-                alaska_heap::AllocStats { live_bytes: self.live, heap_extent: self.cursor, ..Default::default() }
+                alaska_heap::AllocStats {
+                    live_bytes: self.live,
+                    heap_extent: self.cursor,
+                    ..Default::default()
+                }
             }
             fn name(&self) -> &'static str {
                 "bump-example"

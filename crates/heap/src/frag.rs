@@ -139,8 +139,18 @@ mod tests {
         let mut base = RssSeries::new();
         let mut ours = RssSeries::new();
         for t in 0..10u64 {
-            base.push(RssSample { elapsed_ms: t, rss_bytes: 300, live_bytes: 100, fragmentation: 3.0 });
-            ours.push(RssSample { elapsed_ms: t, rss_bytes: 180, live_bytes: 100, fragmentation: 1.8 });
+            base.push(RssSample {
+                elapsed_ms: t,
+                rss_bytes: 300,
+                live_bytes: 100,
+                fragmentation: 3.0,
+            });
+            ours.push(RssSample {
+                elapsed_ms: t,
+                rss_bytes: 180,
+                live_bytes: 100,
+                fragmentation: 1.8,
+            });
         }
         let savings = ours.savings_vs(&base, 5);
         assert!((savings - 0.4).abs() < 1e-9, "40% savings expected, got {savings}");

@@ -156,10 +156,8 @@ impl BackingAllocator for FreeListAllocator {
     }
 
     fn free(&mut self, addr: VirtAddr) {
-        let (size, class) = self
-            .live
-            .remove(&addr.0)
-            .unwrap_or_else(|| panic!("free of non-live address {addr}"));
+        let (size, class) =
+            self.live.remove(&addr.0).unwrap_or_else(|| panic!("free of non-live address {addr}"));
         self.stats.live_bytes -= size as u64;
         self.stats.live_objects -= 1;
         self.stats.total_frees += 1;

@@ -35,9 +35,7 @@ const MAX_SMALL: usize = 2048;
 
 /// Size classes for span-managed objects.  The smallest class is 64 bytes so a
 /// span's occupancy fits in a single 64-bit bitmap word (4096 / 64 = 64 slots).
-pub const MESH_SIZE_CLASSES: &[usize] = &[
-    64, 96, 128, 192, 256, 384, 512, 768, 1024, 2048,
-];
+pub const MESH_SIZE_CLASSES: &[usize] = &[64, 96, 128, 192, 256, 384, 512, 768, 1024, 2048];
 
 /// Number of random probe attempts per span when searching for mesh partners,
 /// mirroring Mesh's bounded search.
@@ -217,7 +215,7 @@ impl MeshAllocator {
     fn mesh_pass(&mut self, budget_bytes: Option<u64>) -> u64 {
         let mut saved = 0u64;
         let mut copied = 0u64;
-        for class in 0..MESH_SIZE_CLASSES.len() {
+        for (class, &class_size) in MESH_SIZE_CLASSES.iter().enumerate() {
             // Candidate spans: occupied, not yet meshed, not released.
             let candidates: Vec<usize> = (0..self.spans.len())
                 .filter(|&i| {
@@ -255,7 +253,6 @@ impl MeshAllocator {
                             let sb = &self.spans[b];
                             (sa.base, sb.base, sb.bits, sb.slots)
                         };
-                        let class_size = MESH_SIZE_CLASSES[class];
                         for slot in 0..slots {
                             if b_bits & (1 << slot) != 0 {
                                 let off = (slot * class_size) as u64;
@@ -356,9 +353,7 @@ impl BackingAllocator for MeshAllocator {
     }
 
     fn rss_bytes(&self) -> u64 {
-        self.vm
-            .rss_bytes()
-            .saturating_sub(self.meshed_pages_saved * SPAN_BYTES as u64)
+        self.vm.rss_bytes().saturating_sub(self.meshed_pages_saved * SPAN_BYTES as u64)
     }
 
     fn reclaim(&mut self, budget_bytes: Option<u64>) -> u64 {

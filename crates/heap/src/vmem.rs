@@ -43,6 +43,7 @@ impl VirtAddr {
     }
 
     /// Address `offset` bytes past `self`.
+    #[allow(clippy::should_implement_trait)] // `addr.add(n)` reads as pointer arithmetic here
     pub fn add(self, offset: u64) -> VirtAddr {
         VirtAddr(self.0 + offset)
     }
@@ -116,9 +117,8 @@ impl Inner {
 
     fn commit(&mut self, page: u64) -> &mut Box<[u8]> {
         let page_size = self.page_size;
-        if !self.pages.contains_key(&page) {
-            self.pages
-                .insert(page, vec![0u8; page_size].into_boxed_slice());
+        if let std::collections::btree_map::Entry::Vacant(e) = self.pages.entry(page) {
+            e.insert(vec![0u8; page_size].into_boxed_slice());
             self.stats.pages_committed_total += 1;
             self.stats.rss_bytes = self.pages.len() as u64 * page_size as u64;
             self.stats.peak_rss_bytes = self.stats.peak_rss_bytes.max(self.stats.rss_bytes);

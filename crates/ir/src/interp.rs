@@ -15,7 +15,9 @@
 //! real barriers.  Baseline `Malloc`/`Free` go to a private non-moving
 //! free-list allocator in the same address space.
 
-use crate::module::{BasicBlockId, BinOp, CmpOp, Function, Instruction, Module, Operand, Terminator, ValueId};
+use crate::module::{
+    BasicBlockId, BinOp, CmpOp, Function, Instruction, Module, Operand, Terminator, ValueId,
+};
 use alaska_heap::freelist::FreeListAllocator;
 use alaska_heap::vmem::VirtAddr;
 use alaska_heap::BackingAllocator;
@@ -420,10 +422,8 @@ impl<'a> Interpreter<'a> {
                         self.charge(cost.malloc);
                         self.counts.mallocs += 1;
                         let s = eval(&values, *size, args) as usize;
-                        let addr = self
-                            .malloc
-                            .alloc(s)
-                            .ok_or(InterpError::AllocationFailed(s as u64))?;
+                        let addr =
+                            self.malloc.alloc(s).ok_or(InterpError::AllocationFailed(s as u64))?;
                         Some(addr.0)
                     }
                     Instruction::Free { ptr } => {
@@ -439,10 +439,8 @@ impl<'a> Interpreter<'a> {
                         self.charge(cost.malloc + cost.handle_alloc_extra);
                         self.counts.hallocs += 1;
                         let s = eval(&values, *size, args) as usize;
-                        let h = self
-                            .rt
-                            .halloc(s)
-                            .map_err(|e| InterpError::Runtime(e.to_string()))?;
+                        let h =
+                            self.rt.halloc(s).map_err(|e| InterpError::Runtime(e.to_string()))?;
                         Some(h)
                     }
                     Instruction::Hfree { ptr } => {

@@ -138,11 +138,7 @@ impl Liveness {
     /// in `bb`, or `None` if `v` is not used in `bb`.  The terminator counts as
     /// index `len`.
     pub fn last_use_in_block(&self, f: &Function, bb: BasicBlockId, v: ValueId) -> Option<usize> {
-        uses_of(f, bb)
-            .into_iter()
-            .filter(|(_, used)| used.contains(&v))
-            .map(|(i, _)| i + 1)
-            .max()
+        uses_of(f, bb).into_iter().filter(|(_, used)| used.contains(&v)).map(|(i, _)| i + 1).max()
     }
 }
 

@@ -80,7 +80,13 @@ impl LoopForest {
         //    parents (an outer loop strictly contains its inner loops' headers).
         let mut loops: Vec<Loop> = by_header
             .into_iter()
-            .map(|(header, (blocks, latches))| Loop { header, blocks, latches, parent: None, depth: 1 })
+            .map(|(header, (blocks, latches))| Loop {
+                header,
+                blocks,
+                latches,
+                parent: None,
+                depth: 1,
+            })
             .collect();
         loops.sort_by_key(|l| std::cmp::Reverse(l.blocks.len()));
         for i in 0..loops.len() {
@@ -148,12 +154,15 @@ impl LoopForest {
     /// translated).  Returns that loop's header, which is where a hoisted
     /// translation belongs (paper `FindNestingLoop`).  `None` when `use_bb`
     /// is not in a loop or the innermost loop already contains `def_bb`.
-    pub fn hoist_target(&self, use_bb: BasicBlockId, def_bb: Option<BasicBlockId>) -> Option<&Loop> {
+    pub fn hoist_target(
+        &self,
+        use_bb: BasicBlockId,
+        def_bb: Option<BasicBlockId>,
+    ) -> Option<&Loop> {
         let mut cur = self.innermost.get(&use_bb).copied()?;
         // The innermost loop must not contain the definition, otherwise no
         // hoisting is possible at all.
-        let contains_def =
-            |l: &Loop| def_bb.map(|d| l.blocks.contains(&d)).unwrap_or(false);
+        let contains_def = |l: &Loop| def_bb.map(|d| l.blocks.contains(&d)).unwrap_or(false);
         if contains_def(&self.loops[cur]) {
             return None;
         }

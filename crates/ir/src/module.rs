@@ -209,8 +209,12 @@ impl Instruction {
     /// All operands of the instruction, in order.
     pub fn operands(&self) -> Vec<Operand> {
         match self {
-            Instruction::Bin { lhs, rhs, .. } | Instruction::Cmp { lhs, rhs, .. } => vec![*lhs, *rhs],
-            Instruction::Select { cond, then_value, else_value } => vec![*cond, *then_value, *else_value],
+            Instruction::Bin { lhs, rhs, .. } | Instruction::Cmp { lhs, rhs, .. } => {
+                vec![*lhs, *rhs]
+            }
+            Instruction::Select { cond, then_value, else_value } => {
+                vec![*cond, *then_value, *else_value]
+            }
             Instruction::Load { addr } => vec![*addr],
             Instruction::Store { addr, value } => vec![*addr, *value],
             Instruction::Gep { base, index, .. } => vec![*base, *index],
@@ -227,7 +231,9 @@ impl Instruction {
     pub fn operands_mut(&mut self) -> Vec<&mut Operand> {
         match self {
             Instruction::Bin { lhs, rhs, .. } | Instruction::Cmp { lhs, rhs, .. } => vec![lhs, rhs],
-            Instruction::Select { cond, then_value, else_value } => vec![cond, then_value, else_value],
+            Instruction::Select { cond, then_value, else_value } => {
+                vec![cond, then_value, else_value]
+            }
             Instruction::Load { addr } => vec![addr],
             Instruction::Store { addr, value } => vec![addr, value],
             Instruction::Gep { base, index, .. } => vec![base, index],
@@ -555,7 +561,12 @@ impl FunctionBuilder {
     }
 
     /// Append a call to another function in the module.
-    pub fn call(&mut self, bb: BasicBlockId, callee: impl Into<String>, args: Vec<Operand>) -> ValueId {
+    pub fn call(
+        &mut self,
+        bb: BasicBlockId,
+        callee: impl Into<String>,
+        args: Vec<Operand>,
+    ) -> ValueId {
         self.push(bb, Instruction::Call { callee: callee.into(), args })
     }
 

@@ -54,8 +54,7 @@ fn print_inst(i: &Instruction) -> String {
         Instruction::Store { addr, value } => format!("store {value} -> {addr}"),
         Instruction::Gep { base, index, scale } => format!("gep {base}, {index} x {scale}"),
         Instruction::Phi { incomings } => {
-            let parts: Vec<String> =
-                incomings.iter().map(|(b, v)| format!("[{b}: {v}]")).collect();
+            let parts: Vec<String> = incomings.iter().map(|(b, v)| format!("[{b}: {v}]")).collect();
             format!("phi {}", parts.join(", "))
         }
         Instruction::Call { callee, args } => format!(

@@ -51,9 +51,7 @@ pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
             for &v in &f.block(bb).insts {
                 if let Instruction::Call { callee, args } = f.inst(v) {
                     match m.function(callee) {
-                        None => {
-                            return Err(err(f, format!("call to unknown function `{callee}`")))
-                        }
+                        None => return Err(err(f, format!("call to unknown function `{callee}`"))),
                         Some(target) if target.num_params != args.len() => {
                             return Err(err(
                                 f,
@@ -84,10 +82,8 @@ pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
     let mut placed: HashMap<ValueId, (BasicBlockId, usize)> = HashMap::new();
     for bb in f.block_ids() {
         let block = f.block(bb);
-        let term = block
-            .terminator
-            .as_ref()
-            .ok_or_else(|| err(f, format!("{bb} has no terminator")))?;
+        let term =
+            block.terminator.as_ref().ok_or_else(|| err(f, format!("{bb} has no terminator")))?;
         for target in term.successors() {
             if target.0 >= num_blocks {
                 return Err(err(f, format!("{bb} branches to nonexistent {target}")));
@@ -164,7 +160,9 @@ pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
                         } else {
                             Err(err(
                                 f,
-                                format!("use of {def} in {user_bb} is not dominated by its definition"),
+                                format!(
+                                    "use of {def} in {user_bb} is not dominated by its definition"
+                                ),
                             ))
                         }
                     }
@@ -203,16 +201,17 @@ pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
                     }
                     // Pin-slot consistency.
                     match inst {
-                        Instruction::Translate { slot: Some(s), .. } | Instruction::Release { slot: s } => {
-                            if *s >= f.pin_frame_slots {
-                                return Err(err(
-                                    f,
-                                    format!(
-                                        "{v}: pin slot {s} exceeds frame size {}",
-                                        f.pin_frame_slots
-                                    ),
-                                ));
-                            }
+                        Instruction::Translate { slot: Some(s), .. }
+                        | Instruction::Release { slot: s }
+                            if *s >= f.pin_frame_slots =>
+                        {
+                            return Err(err(
+                                f,
+                                format!(
+                                    "{v}: pin slot {s} exceeds frame size {}",
+                                    f.pin_frame_slots
+                                ),
+                            ));
                         }
                         _ => {}
                     }

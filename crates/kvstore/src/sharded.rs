@@ -28,10 +28,7 @@ impl ShardedStore {
     /// Create a store with `shards` lock shards over the given runtime.
     pub fn new(rt: Arc<Runtime>, shards: usize) -> Self {
         let shards = shards.max(1);
-        ShardedStore {
-            rt,
-            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
-        }
+        ShardedStore { rt, shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect() }
     }
 
     /// The underlying runtime (shared with the pause controller).

@@ -217,15 +217,19 @@ impl ArenaStorage {
     }
 
     fn chunk_with_room(&mut self, need: u64) -> usize {
-        if let Some(idx) = self
-            .chunks
-            .iter()
-            .rposition(|c| !c.released && c.cursor + need <= ARENA_CHUNK)
+        if let Some(idx) =
+            self.chunks.iter().rposition(|c| !c.released && c.cursor + need <= ARENA_CHUNK)
         {
             return idx;
         }
         let base = self.vm.map(ARENA_CHUNK.max(need));
-        self.chunks.push(ArenaChunk { base, cursor: 0, live_values: 0, live_bytes: 0, released: false });
+        self.chunks.push(ArenaChunk {
+            base,
+            cursor: 0,
+            live_values: 0,
+            live_bytes: 0,
+            released: false,
+        });
         self.chunks.len() - 1
     }
 

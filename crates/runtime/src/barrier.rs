@@ -103,11 +103,7 @@ impl BarrierController {
             if all_stopped {
                 break;
             }
-            if self
-                .condvar
-                .wait_until(&mut guard, deadline)
-                .timed_out()
-            {
+            if self.condvar.wait_until(&mut guard, deadline).timed_out() {
                 // Stragglers are treated as external: they hold no translation
                 // below their current operation boundary (see module docs).
                 break;
@@ -168,7 +164,7 @@ mod tests {
 
         // Give the worker a moment to start looping, then stop the world.
         thread::sleep(Duration::from_millis(10));
-        b.stop_the_world(&[worker_state.clone()]);
+        b.stop_the_world(std::slice::from_ref(&worker_state));
         assert!(worker_state.parked.load(Ordering::Acquire), "worker parked during barrier");
         b.resume();
         tx.send(()).ok();

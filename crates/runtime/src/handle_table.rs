@@ -182,8 +182,7 @@ impl HandleTable {
     /// translate (their backing address is the stale location); callers that
     /// enable handle faults must check [`Hte::state`] first.
     pub fn translate(&self, handle: Handle) -> Option<VirtAddr> {
-        self.get(handle.id())
-            .map(|e| e.backing.add(handle.offset() as u64))
+        self.get(handle.id()).map(|e| e.backing.add(handle.offset() as u64))
     }
 
     /// Iterate over all live entry IDs (used by services when scanning the heap).

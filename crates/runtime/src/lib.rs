@@ -62,12 +62,14 @@ pub mod pinset;
 pub mod runtime;
 pub mod service;
 pub mod stats;
+pub mod telemetry;
 pub mod thread;
 
 pub use error::{AlaskaError, Result};
 pub use handle::{Handle, HandleId};
 pub use runtime::Runtime;
 pub use service::{Service, ServiceContext, StoppedWorld};
+pub use telemetry::names as telemetry_names;
 
 /// Maximum number of simultaneously live handles supported by the 31-bit
 /// handle ID field (§3.3: "the design effectively limits the number of active

@@ -55,7 +55,11 @@ impl PinFrame {
     /// Panics if `slot` is out of range (a compiler bug: the pin-set sizing
     /// pass must reserve enough slots).
     pub fn set(&mut self, slot: usize, value: u64) {
-        assert!(slot < self.slots.len(), "pin slot {slot} out of range ({} slots)", self.slots.len());
+        assert!(
+            slot < self.slots.len(),
+            "pin slot {slot} out of range ({} slots)",
+            self.slots.len()
+        );
         self.slots[slot] = if is_handle(value) { value } else { 0 };
     }
 
@@ -72,9 +76,7 @@ impl PinFrame {
 
     /// Iterate the handle IDs currently pinned by this frame.
     pub fn pinned_ids(&self) -> impl Iterator<Item = HandleId> + '_ {
-        self.slots
-            .iter()
-            .filter_map(|&bits| Handle::from_bits(bits).map(|h| h.id()))
+        self.slots.iter().filter_map(|&bits| Handle::from_bits(bits).map(|h| h.id()))
     }
 }
 
@@ -140,11 +142,7 @@ impl PinSets {
         for frame in &self.frames {
             out.extend(frame.pinned_ids());
         }
-        out.extend(
-            self.native
-                .iter()
-                .filter_map(|&bits| Handle::from_bits(bits).map(|h| h.id())),
-        );
+        out.extend(self.native.iter().filter_map(|&bits| Handle::from_bits(bits).map(|h| h.id())));
     }
 
     /// Convenience: the pinned set of just this thread.

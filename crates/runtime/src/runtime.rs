@@ -24,14 +24,16 @@ use crate::handle_table::{HandleTable, HteState};
 use crate::malloc_service::MallocService;
 use crate::service::{DefragOutcome, Service, ServiceContext, StoppedWorld};
 use crate::stats::{RuntimeStats, StatsSnapshot};
+use crate::telemetry::RuntimeTelemetry;
 use crate::thread::{ThreadRegistry, ThreadState};
 use alaska_heap::vmem::{VirtAddr, VirtualMemory};
 use alaska_heap::AllocStats;
+use alaska_telemetry::Telemetry;
 use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 static NEXT_RUNTIME_ID: AtomicUsize = AtomicUsize::new(1);
@@ -51,6 +53,9 @@ pub struct Runtime {
     barrier: BarrierController,
     stats: RuntimeStats,
     handle_faults: AtomicBool,
+    /// Installed at most once; `None` means telemetry is disabled and every
+    /// instrumentation site reduces to one load and an untaken branch.
+    telemetry: OnceLock<RuntimeTelemetry>,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -128,6 +133,7 @@ impl Runtime {
             barrier: BarrierController::new(),
             stats: RuntimeStats::new(),
             handle_faults: AtomicBool::new(false),
+            telemetry: OnceLock::new(),
         }
     }
 
@@ -144,6 +150,45 @@ impl Runtime {
     /// The shared address space.
     pub fn vm(&self) -> &VirtualMemory {
         &self.vm
+    }
+
+    // ------------------------------------------------------------------
+    // Telemetry
+    // ------------------------------------------------------------------
+
+    /// Install a telemetry hub, enabling pause-time histograms, heap gauges
+    /// and the structured event trace.  The installed [`Service`] is notified
+    /// through [`Service::attach_telemetry`] so it can publish its own
+    /// metrics (Anchorage publishes fragmentation and sub-heap gauges).
+    ///
+    /// Returns `false` (and changes nothing) if a hub was already installed —
+    /// the instrumentation handles are resolved once and never swapped.
+    pub fn install_telemetry(&self, hub: Arc<Telemetry>) -> bool {
+        let installed = self.telemetry.set(RuntimeTelemetry::new(hub.clone())).is_ok();
+        if installed {
+            self.service.lock().attach_telemetry(&hub);
+        }
+        installed
+    }
+
+    /// The installed telemetry hub, if any.
+    pub fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        self.telemetry.get().map(|t| t.hub.clone())
+    }
+
+    /// Mirror the runtime counters and heap gauges into the installed hub's
+    /// registry (no-op without a hub).  Harnesses call this before exporting
+    /// so JSONL/Prometheus snapshots carry the latest totals.
+    pub fn publish_telemetry(&self) {
+        if let Some(tel) = self.telemetry.get() {
+            let registry = tel.hub.registry();
+            self.stats.publish(registry);
+            registry.gauge(crate::telemetry::names::RSS_BYTES).set_u64(self.rss_bytes());
+            registry
+                .gauge(crate::telemetry::names::FRAGMENTATION_RATIO)
+                .set(self.service_fragmentation());
+            registry.gauge(crate::telemetry::names::LIVE_HANDLES).set_u64(self.live_handles());
+        }
     }
 
     // ------------------------------------------------------------------
@@ -218,9 +263,7 @@ impl Runtime {
         }
         let id = {
             let mut table = self.table.lock();
-            table
-                .allocate(VirtAddr::NULL, size as u32)
-                .ok_or(AlaskaError::HandleTableFull)?
+            table.allocate(VirtAddr::NULL, size as u32).ok_or(AlaskaError::HandleTableFull)?
         };
         let addr = {
             let mut service = self.service.lock();
@@ -323,6 +366,9 @@ impl Runtime {
             // Handle fault (§7): the object was speculatively moved or swapped
             // out.  Our model services the fault by revalidating the entry.
             RuntimeStats::bump(&self.stats.handle_faults);
+            if let Some(tel) = self.telemetry.get() {
+                tel.record_handle_fault(id.0 as u64);
+            }
             table.set_state(id, HteState::Live);
         }
         RuntimeStats::bump(&self.stats.translations);
@@ -387,9 +433,8 @@ impl Runtime {
         if is_handle(value) {
             let state = self.current_thread();
             let mut pins = state.pins.lock();
-            let frame = pins
-                .top_frame_mut()
-                .expect("translate_into_slot requires an active pin frame");
+            let frame =
+                pins.top_frame_mut().expect("translate_into_slot requires an active pin frame");
             frame.set(slot, value);
             RuntimeStats::bump(&self.stats.pins);
         }
@@ -444,13 +489,9 @@ impl Runtime {
     pub fn with_stopped_world<R>(&self, f: impl FnOnce(&mut StoppedWorld<'_>) -> R) -> R {
         let start = Instant::now();
         let me = self.current_thread();
-        let others: Vec<Arc<ThreadState>> = self
-            .threads
-            .snapshot()
-            .into_iter()
-            .filter(|t| t.id != me.id)
-            .collect();
-        self.barrier.stop_the_world(&others);
+        let others: Vec<Arc<ThreadState>> =
+            self.threads.snapshot().into_iter().filter(|t| t.id != me.id).collect();
+        let stop_wait = self.barrier.stop_the_world(&others);
 
         // Unify pin sets from every registered thread (including ourselves).
         let mut pinned: HashSet<HandleId> = HashSet::new();
@@ -465,18 +506,37 @@ impl Runtime {
         };
 
         self.barrier.resume();
+        let pause = start.elapsed();
         RuntimeStats::bump(&self.stats.barriers);
-        RuntimeStats::add(&self.stats.barrier_ns, start.elapsed().as_nanos() as u64);
+        RuntimeStats::add(&self.stats.barrier_ns, pause.as_nanos() as u64);
+        if let Some(tel) = self.telemetry.get() {
+            tel.record_barrier(
+                stop_wait.as_nanos() as u64,
+                pause.as_nanos() as u64,
+                self.stats.safepoint_polls.load(Ordering::Relaxed),
+            );
+        }
         result
     }
 
     /// Stop the world and let the installed service defragment, bounded by
     /// `budget_bytes` of copying (`None` = unbounded).
     pub fn defragment(&self, budget_bytes: Option<u64>) -> DefragOutcome {
-        self.with_stopped_world(|world| {
+        let outcome = self.with_stopped_world(|world| {
             let mut service = self.service.lock();
             service.defragment(world, budget_bytes)
-        })
+        });
+        RuntimeStats::bump(&self.stats.defrag_passes);
+        RuntimeStats::add(&self.stats.bytes_released, outcome.bytes_released);
+        if let Some(tel) = self.telemetry.get() {
+            tel.record_defrag(
+                budget_bytes,
+                &outcome,
+                self.rss_bytes(),
+                self.service_fragmentation(),
+            );
+        }
+        outcome
     }
 
     /// Run `f` with exclusive access to the installed service (for
@@ -624,10 +684,7 @@ mod tests {
     #[test]
     fn object_too_large_is_rejected() {
         let rt = rt();
-        assert!(matches!(
-            rt.halloc(1 << 33),
-            Err(AlaskaError::ObjectTooLarge { .. })
-        ));
+        assert!(matches!(rt.halloc(1 << 33), Err(AlaskaError::ObjectTooLarge { .. })));
     }
 
     #[test]

@@ -24,7 +24,9 @@ use crate::handle_table::{HandleTable, HteState};
 use crate::stats::RuntimeStats;
 use alaska_heap::vmem::{VirtAddr, VirtualMemory};
 use alaska_heap::AllocStats;
+use alaska_telemetry::Telemetry;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Context handed to services at initialization: the shared address space the
 /// service must allocate backing memory from.
@@ -83,9 +85,19 @@ pub trait Service: Send {
     /// through [`StoppedWorld::move_object`] and release memory.  `budget_bytes`
     /// bounds how many bytes may be copied in this pause (partial
     /// defragmentation); `None` means unbounded.
-    fn defragment(&mut self, _world: &mut StoppedWorld<'_>, _budget_bytes: Option<u64>) -> DefragOutcome {
+    fn defragment(
+        &mut self,
+        _world: &mut StoppedWorld<'_>,
+        _budget_bytes: Option<u64>,
+    ) -> DefragOutcome {
         DefragOutcome::default()
     }
+
+    /// Called when a telemetry hub is installed on the owning runtime.  The
+    /// service may keep the `Arc` and publish its own metrics and events
+    /// (Anchorage records sub-heap lifecycle and fragmentation gauges).  The
+    /// default keeps nothing: telemetry stays a strictly opt-in concern.
+    fn attach_telemetry(&mut self, _telemetry: &Arc<Telemetry>) {}
 
     /// Service name used in benchmark output.
     fn name(&self) -> &'static str;
@@ -178,7 +190,12 @@ mod tests {
     use alaska_heap::vmem::VirtualMemory;
 
     fn world_parts() -> (HandleTable, HashSet<HandleId>, VirtualMemory, RuntimeStats) {
-        (HandleTable::with_capacity(1024), HashSet::new(), VirtualMemory::shared(4096), RuntimeStats::new())
+        (
+            HandleTable::with_capacity(1024),
+            HashSet::new(),
+            VirtualMemory::shared(4096),
+            RuntimeStats::new(),
+        )
     }
 
     #[test]
@@ -236,9 +253,10 @@ mod tests {
         let (mut table, pinned, vm, stats) = world_parts();
         let region = vm.map(4096);
         let id = table.allocate(region, 16).unwrap();
-        let mut world = StoppedWorld::new(&mut table, &pinned, &vm, &stats);
-        world.set_invalid(id, true);
-        drop(world);
+        {
+            let mut world = StoppedWorld::new(&mut table, &pinned, &vm, &stats);
+            world.set_invalid(id, true);
+        }
         assert_eq!(table.get(id).unwrap().state, HteState::Invalid);
     }
 }

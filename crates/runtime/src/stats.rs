@@ -4,69 +4,104 @@
 //! translations, pins, safepoint polls, barriers, object moves — is counted
 //! here with relaxed atomics so the figure harnesses can report them without
 //! perturbing the measured behaviour.
+//!
+//! [`RuntimeStats`] (atomic counters) and [`StatsSnapshot`] (plain `u64`
+//! copies) are generated from a single field list by `define_stats!`, so the
+//! two types can never drift apart: adding a counter automatically extends
+//! the snapshot, the delta arithmetic and the telemetry export.
 
+use alaska_telemetry::Registry;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Monotonic counters describing runtime activity.
-#[derive(Debug, Default)]
-pub struct RuntimeStats {
-    /// `halloc` calls served.
-    pub hallocs: AtomicU64,
-    /// `hfree` calls served.
-    pub hfrees: AtomicU64,
-    /// Handle checks executed (the `cmp`/branch before a potential translation).
-    pub handle_checks: AtomicU64,
-    /// Translations that actually indexed the handle table (value was a handle).
-    pub translations: AtomicU64,
-    /// Values that passed through untouched because they were raw pointers.
-    pub pointer_passthroughs: AtomicU64,
-    /// Native pin operations.
-    pub pins: AtomicU64,
-    /// Native unpin operations.
-    pub unpins: AtomicU64,
-    /// Stop-the-world barriers executed.
-    pub barriers: AtomicU64,
-    /// Total nanoseconds the world was stopped across all barriers.
-    pub barrier_ns: AtomicU64,
-    /// Objects moved by services during barriers.
-    pub objects_moved: AtomicU64,
-    /// Bytes copied by services during barriers.
-    pub bytes_moved: AtomicU64,
-    /// Handle faults taken (invalid-entry accesses with faults enabled).
-    pub handle_faults: AtomicU64,
-    /// Safepoint polls executed across all threads.
-    pub safepoint_polls: AtomicU64,
+/// Define [`RuntimeStats`] and [`StatsSnapshot`] from one field list.
+///
+/// For each `name: doc` entry this generates an `AtomicU64` field on
+/// `RuntimeStats`, a `u64` field on `StatsSnapshot`, a line in
+/// [`RuntimeStats::snapshot`], a line in [`StatsSnapshot::since`] and a
+/// `alaska_<name>` counter in [`RuntimeStats::publish`].
+macro_rules! define_stats {
+    ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
+        /// Monotonic counters describing runtime activity.
+        #[derive(Debug, Default)]
+        pub struct RuntimeStats {
+            $(
+                $(#[$doc])*
+                pub $name: AtomicU64,
+            )+
+        }
+
+        /// A plain-old-data snapshot of [`RuntimeStats`].
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct StatsSnapshot {
+            $(
+                $(#[$doc])*
+                pub $name: u64,
+            )+
+        }
+
+        impl RuntimeStats {
+            /// Take a consistent-enough snapshot of all counters.
+            pub fn snapshot(&self) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($name: self.$name.load(Ordering::Relaxed),)+
+                }
+            }
+
+            /// Mirror every counter into `registry` as `alaska_<name>`.
+            ///
+            /// Counters are *stored*, not added, so repeated publishes are
+            /// idempotent and the registry always reflects the latest totals.
+            pub fn publish(&self, registry: &Registry) {
+                $(
+                    registry
+                        .counter(concat!("alaska_", stringify!($name)))
+                        .store(self.$name.load(Ordering::Relaxed));
+                )+
+            }
+        }
+
+        impl StatsSnapshot {
+            /// Difference between two snapshots (`self` taken after `earlier`).
+            pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($name: self.$name - earlier.$name,)+
+                }
+            }
+        }
+    };
 }
 
-/// A plain-old-data snapshot of [`RuntimeStats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct StatsSnapshot {
+define_stats! {
     /// `halloc` calls served.
-    pub hallocs: u64,
+    hallocs,
     /// `hfree` calls served.
-    pub hfrees: u64,
-    /// Handle checks executed.
-    pub handle_checks: u64,
-    /// Translations through the handle table.
-    pub translations: u64,
-    /// Raw-pointer pass-throughs.
-    pub pointer_passthroughs: u64,
-    /// Native pins.
-    pub pins: u64,
-    /// Native unpins.
-    pub unpins: u64,
-    /// Barriers executed.
-    pub barriers: u64,
-    /// Nanoseconds spent with the world stopped.
-    pub barrier_ns: u64,
-    /// Objects moved during barriers.
-    pub objects_moved: u64,
-    /// Bytes copied during barriers.
-    pub bytes_moved: u64,
-    /// Handle faults taken.
-    pub handle_faults: u64,
-    /// Safepoint polls executed.
-    pub safepoint_polls: u64,
+    hfrees,
+    /// Handle checks executed (the `cmp`/branch before a potential translation).
+    handle_checks,
+    /// Translations that actually indexed the handle table (value was a handle).
+    translations,
+    /// Values that passed through untouched because they were raw pointers.
+    pointer_passthroughs,
+    /// Native pin operations.
+    pins,
+    /// Native unpin operations.
+    unpins,
+    /// Stop-the-world barriers executed.
+    barriers,
+    /// Total nanoseconds the world was stopped across all barriers.
+    barrier_ns,
+    /// Objects moved by services during barriers.
+    objects_moved,
+    /// Bytes copied by services during barriers.
+    bytes_moved,
+    /// Bytes of physical memory services returned to the kernel.
+    bytes_released,
+    /// Defragmentation passes completed.
+    defrag_passes,
+    /// Handle faults taken (invalid-entry accesses with faults enabled).
+    handle_faults,
+    /// Safepoint polls executed across all threads.
+    safepoint_polls,
 }
 
 impl RuntimeStats {
@@ -83,46 +118,6 @@ impl RuntimeStats {
     /// Increment a counter by one.
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Take a consistent-enough snapshot of all counters.
-    pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            hallocs: self.hallocs.load(Ordering::Relaxed),
-            hfrees: self.hfrees.load(Ordering::Relaxed),
-            handle_checks: self.handle_checks.load(Ordering::Relaxed),
-            translations: self.translations.load(Ordering::Relaxed),
-            pointer_passthroughs: self.pointer_passthroughs.load(Ordering::Relaxed),
-            pins: self.pins.load(Ordering::Relaxed),
-            unpins: self.unpins.load(Ordering::Relaxed),
-            barriers: self.barriers.load(Ordering::Relaxed),
-            barrier_ns: self.barrier_ns.load(Ordering::Relaxed),
-            objects_moved: self.objects_moved.load(Ordering::Relaxed),
-            bytes_moved: self.bytes_moved.load(Ordering::Relaxed),
-            handle_faults: self.handle_faults.load(Ordering::Relaxed),
-            safepoint_polls: self.safepoint_polls.load(Ordering::Relaxed),
-        }
-    }
-}
-
-impl StatsSnapshot {
-    /// Difference between two snapshots (`self` taken after `earlier`).
-    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
-        StatsSnapshot {
-            hallocs: self.hallocs - earlier.hallocs,
-            hfrees: self.hfrees - earlier.hfrees,
-            handle_checks: self.handle_checks - earlier.handle_checks,
-            translations: self.translations - earlier.translations,
-            pointer_passthroughs: self.pointer_passthroughs - earlier.pointer_passthroughs,
-            pins: self.pins - earlier.pins,
-            unpins: self.unpins - earlier.unpins,
-            barriers: self.barriers - earlier.barriers,
-            barrier_ns: self.barrier_ns - earlier.barrier_ns,
-            objects_moved: self.objects_moved - earlier.objects_moved,
-            bytes_moved: self.bytes_moved - earlier.bytes_moved,
-            handle_faults: self.handle_faults - earlier.handle_faults,
-            safepoint_polls: self.safepoint_polls - earlier.safepoint_polls,
-        }
     }
 }
 
@@ -153,5 +148,24 @@ mod tests {
         assert_eq!(d.translations, 5);
         assert_eq!(d.barriers, 1);
         assert_eq!(d.hallocs, 0);
+    }
+
+    #[test]
+    fn publish_mirrors_every_counter_into_a_registry() {
+        let s = RuntimeStats::new();
+        RuntimeStats::add(&s.translations, 7);
+        RuntimeStats::add(&s.bytes_released, 4096);
+        let registry = Registry::new();
+        s.publish(&registry);
+        assert_eq!(registry.counter("alaska_translations").get(), 7);
+        assert_eq!(registry.counter("alaska_bytes_released").get(), 4096);
+        assert_eq!(registry.counter("alaska_barriers").get(), 0);
+        // One registry entry per stats field, never fewer (drift guard).
+        let fields = format!("{:?}", s.snapshot()).matches(':').count();
+        assert_eq!(registry.len(), fields);
+
+        // Re-publishing stores rather than accumulates.
+        s.publish(&registry);
+        assert_eq!(registry.counter("alaska_translations").get(), 7);
     }
 }

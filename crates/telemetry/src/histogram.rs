@@ -1,0 +1,352 @@
+//! A lock-free log-linear (HDR-style) histogram.
+//!
+//! Values are bucketed with a hybrid scheme: values below 16 get their own
+//! unit-width bucket; every power-of-two magnitude above that is split into
+//! 16 linear sub-buckets.  That bounds the relative error of any
+//! reconstructed value (and hence any quantile) by the sub-bucket width —
+//! at most 1/16 ≈ 6.25% of the value, and half of that on average, because
+//! buckets report their midpoint.
+//!
+//! All mutation is `fetch_add` on relaxed atomics, so recording from many
+//! threads never takes a lock and never perturbs the measured path; queries
+//! fold over the bucket array and are approximately consistent under
+//! concurrent writes (the same guarantee `RuntimeStats` already gives).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the number of linear sub-buckets per power-of-two magnitude.
+const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per power-of-two magnitude (16).
+const SUB: u64 = 1 << SUB_BITS;
+/// Bucket count: 16 unit buckets + 16 sub-buckets for each magnitude
+/// `2^4 ..= 2^63`.
+const BUCKETS: usize = SUB as usize + (64 - SUB_BITS as usize) * SUB as usize;
+
+/// Map a value to its bucket index.
+fn index_of(value: u64) -> usize {
+    if value < SUB {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros(); // msb >= SUB_BITS
+    let magnitude = (msb - SUB_BITS) as usize;
+    let sub = ((value >> (msb - SUB_BITS)) - SUB) as usize;
+    SUB as usize + magnitude * SUB as usize + sub
+}
+
+/// The representative (midpoint) value of a bucket.
+fn value_of(index: usize) -> u64 {
+    if index < SUB as usize {
+        return index as u64;
+    }
+    let g = index - SUB as usize;
+    let magnitude = (g / SUB as usize) as u32;
+    let sub = (g % SUB as usize) as u64;
+    let width = 1u64 << magnitude;
+    let lo = (SUB + sub) << magnitude;
+    lo + width / 2
+}
+
+/// A concurrent log-linear histogram of `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` identical samples.
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[index_of(value)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(value.saturating_mul(n), Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded sample (exact), or 0 when empty.
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Largest recorded sample (exact), or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of all recorded samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
+    }
+
+    /// The value at percentile `p` (0–100): the representative value of the
+    /// first bucket whose cumulative count reaches `p`% of all samples.
+    /// Returns 0 when empty.  The endpoints are exact: `p = 0` reports the
+    /// recorded minimum and `p = 100` the recorded maximum.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        if p <= 0.0 {
+            return self.min();
+        }
+        if p >= 100.0 {
+            return self.max();
+        }
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Clamp the bucket midpoint into the observed range so sparse
+                // histograms cannot report values outside [min, max].
+                return value_of(i).clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Fold another histogram's samples into this one.
+    ///
+    /// Merging is bucket-wise addition plus min/max/sum folding, so it is
+    /// exactly associative and commutative — per-thread histograms can be
+    /// combined in any order with identical results.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        let other_min = other.min.load(Ordering::Relaxed);
+        if other_min != u64::MAX {
+            self.min.fetch_min(other_min, Ordering::Relaxed);
+        }
+        self.max.fetch_max(other.max(), Ordering::Relaxed);
+    }
+
+    /// A plain-old-data summary of the current contents.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            mean: self.mean(),
+            p50: self.percentile(50.0),
+            p90: self.percentile(90.0),
+            p99: self.percentile(99.0),
+        }
+    }
+}
+
+/// Summary statistics captured from a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact sum of samples.
+    pub sum: u64,
+    /// Exact minimum sample (0 when empty).
+    pub min: u64,
+    /// Exact maximum sample (0 when empty).
+    pub max: u64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Median (≤ ~6% relative error).
+    pub p50: u64,
+    /// 90th percentile (≤ ~6% relative error).
+    pub p90: u64,
+    /// 99th percentile (≤ ~6% relative error).
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: u64, b: u64, rel: f64) -> bool {
+        let (a, b) = (a as f64, b as f64);
+        (a - b).abs() <= rel * b.max(1.0)
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.percentile(100.0), 15);
+        assert_eq!(h.percentile(0.0), 0);
+    }
+
+    #[test]
+    fn uniform_distribution_percentiles_are_close() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert!(close(h.percentile(50.0), 5_000, 0.07), "p50 {}", h.percentile(50.0));
+        assert!(close(h.percentile(90.0), 9_000, 0.07), "p90 {}", h.percentile(90.0));
+        assert!(close(h.percentile(99.0), 9_900, 0.07), "p99 {}", h.percentile(99.0));
+        assert_eq!(h.max(), 10_000);
+        assert!((h.mean() - 5_000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn skewed_distribution_tail_is_visible() {
+        // Mostly fast samples and a slow 2% tail: p99 must reach for the tail.
+        let h = Histogram::new();
+        for _ in 0..980 {
+            h.record(100);
+        }
+        for _ in 0..20 {
+            h.record(1_000_000);
+        }
+        assert!(close(h.percentile(50.0), 100, 0.07));
+        assert!(close(h.percentile(99.0), 1_000_000, 0.07), "p99 {}", h.percentile(99.0));
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |seed: u64| {
+            let h = Histogram::new();
+            let mut x = seed | 1;
+            for _ in 0..1000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                h.record(x % 100_000);
+            }
+            h
+        };
+        let (a, b, c) = (mk(1), mk(2), mk(3));
+
+        // (a + b) + c
+        let left = Histogram::new();
+        left.merge(&a);
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)  (merge into a fresh accumulator in the other order)
+        let bc = Histogram::new();
+        bc.merge(&c);
+        bc.merge(&b);
+        let right = Histogram::new();
+        right.merge(&bc);
+        right.merge(&a);
+
+        assert_eq!(left.snapshot(), right.snapshot());
+        assert_eq!(left.count(), 3000);
+    }
+
+    #[test]
+    fn merge_of_empty_is_identity() {
+        let h = Histogram::new();
+        h.record(42);
+        let before = h.snapshot();
+        h.merge(&Histogram::new());
+        assert_eq!(h.snapshot(), before);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!((s.count, s.min, s.max, s.p50, s.p99), (0, 0, 0, 0, 0));
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotonic_and_bounded() {
+        let mut last = 0usize;
+        for shift in 0..63 {
+            let v = 1u64 << shift;
+            for probe in [v, v + v / 3, v + v - 1] {
+                let idx = index_of(probe);
+                assert!(idx >= last, "index must not decrease ({probe})");
+                assert!(idx < BUCKETS);
+                last = idx;
+                // The representative must be within one sub-bucket of the value.
+                let rep = value_of(idx);
+                assert!(
+                    close(rep, probe, 1.0 / SUB as f64),
+                    "representative {rep} too far from {probe}"
+                );
+            }
+        }
+        assert_eq!(index_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let workers: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1000 + i % 97);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+    }
+}

@@ -1,0 +1,252 @@
+//! A minimal JSON encoder.
+//!
+//! The figure harnesses emit machine-readable result blobs and the registry
+//! exports JSON Lines; both need only *encoding* of plain data.  Rather than
+//! pulling in `serde` (unavailable in offline builds), this module provides a
+//! tiny value tree ([`JsonValue`]) and a [`ToJson`] trait the bench crates
+//! implement by hand.
+//!
+//! Rendering rules match what a JSON consumer expects:
+//!
+//! * object keys keep insertion order (callers list fields deterministically),
+//! * strings are escaped per RFC 8259 (quotes, backslashes, control chars),
+//! * non-finite floats render as `null` (JSON has no NaN/Infinity),
+//! * integral floats render without a trailing `.0` (like `serde_json`).
+
+use std::fmt::Write;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object with ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// Escape `s` into `out` as the contents of a JSON string literal.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render an `f64` the way `serde_json` does: `null` for non-finite values,
+/// no trailing `.0` for integral values.
+fn render_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+impl JsonValue {
+    /// Render the value as compact JSON (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::F64(v) => render_f64(out, *v),
+            JsonValue::Str(s) => {
+                out.push('"');
+                escape_into(out, s);
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_into(out, k);
+                    out.push_str("\":");
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Types that can render themselves as a [`JsonValue`].
+pub trait ToJson {
+    /// Build the JSON representation.
+    fn to_json(&self) -> JsonValue;
+}
+
+impl ToJson for JsonValue {
+    fn to_json(&self) -> JsonValue {
+        self.clone()
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::U64(*self)
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::U64(*self as u64)
+    }
+}
+
+impl ToJson for i64 {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::I64(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::F64(*self)
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str((*self).to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            Some(v) => v.to_json(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+/// Tuples render as fixed-length JSON arrays (handy for table rows).
+macro_rules! impl_tuple_to_json {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: ToJson),+> ToJson for ($($name,)+) {
+            fn to_json(&self) -> JsonValue {
+                JsonValue::Array(vec![$(self.$idx.to_json()),+])
+            }
+        }
+    };
+}
+
+impl_tuple_to_json!(A: 0, B: 1);
+impl_tuple_to_json!(A: 0, B: 1, C: 2);
+impl_tuple_to_json!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_to_json!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_to_json!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Build a [`JsonValue::Object`] from `(key, value)` pairs.
+pub fn object<const N: usize>(fields: [(&str, JsonValue); N]) -> JsonValue {
+    JsonValue::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render_correctly() {
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(JsonValue::Bool(true).render(), "true");
+        assert_eq!(JsonValue::U64(18_446_744_073_709_551_615).render(), "18446744073709551615");
+        assert_eq!(JsonValue::I64(-5).render(), "-5");
+        assert_eq!(JsonValue::F64(2.5).render(), "2.5");
+        assert_eq!(JsonValue::F64(3.0).render(), "3");
+        assert_eq!(JsonValue::F64(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            JsonValue::Str("a\"b\\c\nd\u{1}".to_string()).render(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn nested_structures_render_compactly() {
+        let v = object([
+            ("name", JsonValue::Str("x".into())),
+            ("xs", JsonValue::Array(vec![JsonValue::U64(1), JsonValue::U64(2)])),
+            ("opt", None::<u64>.to_json()),
+        ]);
+        assert_eq!(v.render(), "{\"name\":\"x\",\"xs\":[1,2],\"opt\":null}");
+    }
+
+    #[test]
+    fn to_json_impls_cover_primitives() {
+        assert_eq!(42u64.to_json().render(), "42");
+        assert_eq!((-1i64).to_json().render(), "-1");
+        assert_eq!(1.25f64.to_json().render(), "1.25");
+        assert_eq!("hi".to_json().render(), "\"hi\"");
+        assert_eq!(vec![1u64, 2].to_json().render(), "[1,2]");
+        assert_eq!(Some(3u64).to_json().render(), "3");
+    }
+}

@@ -1,0 +1,286 @@
+//! A bounded structured event trace.
+//!
+//! [`TelemetryRing`] keeps the last *N* [`Event`]s with a monotonic sequence
+//! number and a nanosecond timestamp.  When full, the oldest events are
+//! overwritten and counted in [`TelemetryRing::dropped`], so a long-running
+//! process keeps a fixed-size recent-history window — the defragmentation
+//! story of the last few seconds — without unbounded memory.
+
+use crate::json::JsonValue;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A structured runtime event.
+///
+/// The variants cover exactly what the paper's figures reason about: barrier
+/// pauses (Fig 12), defragmentation passes and their yield (Figs 9–11),
+/// sub-heap lifecycle (§4.3), handle faults (§7) and safepoint activity
+/// (§4.1.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A stop-the-world barrier began; `stop_wait_ns` is how long the
+    /// initiator waited for other threads to park.
+    BarrierBegin {
+        /// Nanoseconds spent waiting for the world to stop.
+        stop_wait_ns: u64,
+    },
+    /// A stop-the-world barrier ended after `pause_ns` nanoseconds.
+    BarrierEnd {
+        /// Total world-stopped time of this barrier, in nanoseconds.
+        pause_ns: u64,
+    },
+    /// A defragmentation pass completed.
+    DefragPass {
+        /// Copy budget the pass ran under (`u64::MAX` = unbounded).
+        budget_bytes: u64,
+        /// Bytes copied while relocating objects.
+        bytes_moved: u64,
+        /// Bytes of physical memory returned to the kernel.
+        bytes_released: u64,
+        /// Objects relocated.
+        objects_moved: u64,
+    },
+    /// A new sub-heap was opened (or an empty one re-activated).
+    SubheapOpen {
+        /// Index of the sub-heap.
+        index: u64,
+        /// Its capacity in bytes.
+        capacity: u64,
+    },
+    /// The active sub-heap was rotated during defragmentation.
+    SubheapRotate {
+        /// The previously active sub-heap (now the defragmentation source).
+        from: u64,
+        /// The newly active sub-heap.
+        to: u64,
+    },
+    /// A handle fault was taken on the translation path (§7).
+    HandleFault {
+        /// ID of the faulting handle.
+        handle_id: u64,
+    },
+    /// A batch of safepoint polls, reported at barrier boundaries rather than
+    /// per poll (polls are far too hot to trace individually).
+    SafepointBatch {
+        /// Polls executed since the previous batch report.
+        polls: u64,
+    },
+}
+
+impl Event {
+    /// Stable machine-readable name of the event kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::BarrierBegin { .. } => "barrier_begin",
+            Event::BarrierEnd { .. } => "barrier_end",
+            Event::DefragPass { .. } => "defrag_pass",
+            Event::SubheapOpen { .. } => "subheap_open",
+            Event::SubheapRotate { .. } => "subheap_rotate",
+            Event::HandleFault { .. } => "handle_fault",
+            Event::SafepointBatch { .. } => "safepoint_batch",
+        }
+    }
+
+    /// The event's payload fields as (name, value) pairs.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        match *self {
+            Event::BarrierBegin { stop_wait_ns } => vec![("stop_wait_ns", stop_wait_ns)],
+            Event::BarrierEnd { pause_ns } => vec![("pause_ns", pause_ns)],
+            Event::DefragPass { budget_bytes, bytes_moved, bytes_released, objects_moved } => {
+                vec![
+                    ("budget_bytes", budget_bytes),
+                    ("bytes_moved", bytes_moved),
+                    ("bytes_released", bytes_released),
+                    ("objects_moved", objects_moved),
+                ]
+            }
+            Event::SubheapOpen { index, capacity } => {
+                vec![("index", index), ("capacity", capacity)]
+            }
+            Event::SubheapRotate { from, to } => vec![("from", from), ("to", to)],
+            Event::HandleFault { handle_id } => vec![("handle_id", handle_id)],
+            Event::SafepointBatch { polls } => vec![("polls", polls)],
+        }
+    }
+}
+
+/// One timestamped entry of the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Monotonic sequence number (never reused, survives wraparound).
+    pub seq: u64,
+    /// Nanoseconds since the owning hub's epoch.
+    pub at_ns: u64,
+    /// The event itself.
+    pub event: Event,
+}
+
+impl EventRecord {
+    /// Render the record as one JSON object (one JSON-Lines line).
+    pub fn to_json(&self) -> JsonValue {
+        let mut obj = vec![
+            ("seq".to_string(), JsonValue::U64(self.seq)),
+            ("at_ns".to_string(), JsonValue::U64(self.at_ns)),
+            ("event".to_string(), JsonValue::Str(self.event.name().to_string())),
+        ];
+        for (k, v) in self.event.fields() {
+            obj.push((k.to_string(), JsonValue::U64(v)));
+        }
+        JsonValue::Object(obj)
+    }
+}
+
+#[derive(Debug, Default)]
+struct RingInner {
+    events: VecDeque<EventRecord>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// A bounded ring of recent [`EventRecord`]s.
+#[derive(Debug)]
+pub struct TelemetryRing {
+    inner: Mutex<RingInner>,
+    capacity: usize,
+}
+
+impl TelemetryRing {
+    /// Create a ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        TelemetryRing { inner: Mutex::new(RingInner::default()), capacity: capacity.max(1) }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append an event stamped `at_ns`, evicting the oldest entry when full.
+    pub fn push(&self, at_ns: u64, event: Event) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.events.len() == self.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(EventRecord { seq, at_ns, event });
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).events.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events evicted by wraparound since creation.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).dropped
+    }
+
+    /// Copy out the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<EventRecord> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.events.iter().copied().collect()
+    }
+
+    /// Render the retained events as JSON Lines, oldest first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in self.snapshot() {
+            out.push_str(&record.to_json().render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_retains_in_order() {
+        let ring = TelemetryRing::new(8);
+        for i in 0..5u64 {
+            ring.push(i * 10, Event::SafepointBatch { polls: i });
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[4].seq, 4);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn wraparound_evicts_oldest_and_keeps_sequence() {
+        let ring = TelemetryRing::new(4);
+        for i in 0..10u64 {
+            ring.push(i, Event::BarrierEnd { pause_ns: i });
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 6);
+        let events = ring.snapshot();
+        // The oldest six were evicted; seq 6..=9 survive, still ordered.
+        assert_eq!(events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+        assert!(matches!(events[0].event, Event::BarrierEnd { pause_ns: 6 }));
+    }
+
+    #[test]
+    fn capacity_has_a_floor_of_one() {
+        let ring = TelemetryRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.push(0, Event::HandleFault { handle_id: 1 });
+        ring.push(1, Event::HandleFault { handle_id: 2 });
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.snapshot()[0].seq, 1);
+    }
+
+    #[test]
+    fn jsonl_renders_one_object_per_line() {
+        let ring = TelemetryRing::new(4);
+        ring.push(
+            5,
+            Event::DefragPass {
+                budget_bytes: 1024,
+                bytes_moved: 512,
+                bytes_released: 4096,
+                objects_moved: 3,
+            },
+        );
+        let jsonl = ring.to_jsonl();
+        assert_eq!(
+            jsonl,
+            "{\"seq\":0,\"at_ns\":5,\"event\":\"defrag_pass\",\"budget_bytes\":1024,\
+             \"bytes_moved\":512,\"bytes_released\":4096,\"objects_moved\":3}\n"
+        );
+    }
+
+    #[test]
+    fn every_event_kind_has_a_name_and_fields() {
+        let events = [
+            Event::BarrierBegin { stop_wait_ns: 1 },
+            Event::BarrierEnd { pause_ns: 2 },
+            Event::DefragPass {
+                budget_bytes: 3,
+                bytes_moved: 4,
+                bytes_released: 5,
+                objects_moved: 6,
+            },
+            Event::SubheapOpen { index: 7, capacity: 8 },
+            Event::SubheapRotate { from: 9, to: 10 },
+            Event::HandleFault { handle_id: 11 },
+            Event::SafepointBatch { polls: 12 },
+        ];
+        let mut names = std::collections::HashSet::new();
+        for e in events {
+            assert!(!e.fields().is_empty());
+            names.insert(e.name());
+        }
+        assert_eq!(names.len(), events.len(), "names are distinct");
+    }
+}

@@ -159,9 +159,7 @@ impl Workload {
 
     /// Operations that load the initial `record_count` keys.
     pub fn load_phase(&self) -> Vec<Op> {
-        (0..self.config.record_count)
-            .map(|k| Op::Insert(k, self.config.value_size))
-            .collect()
+        (0..self.config.record_count).map(|k| Op::Insert(k, self.config.value_size)).collect()
     }
 
     fn choose_key(&mut self) -> u64 {

@@ -1,19 +1,31 @@
 //! A miniature of the Figure 12 experiment: multithreaded workers hammer a
 //! memcached-like handle-backed store while the main thread periodically stops
-//! the world and relocates objects; per-request latency is reported with and
-//! without pauses.
+//! the world and relocates objects.  Per-request latency is reported with and
+//! without pauses, and the stop-the-world pauses themselves are measured by
+//! the telemetry registry — the percentile table at the end is read straight
+//! out of the `alaska_barrier_pause_ns` histogram.
 //!
 //! Run with: `cargo run --example memcached_pauses --release`
 
-use alaska::AlaskaBuilder;
+use alaska::telemetry::MetricValue;
+use alaska::{AlaskaBuilder, Telemetry};
 use alaska_kvstore::ShardedStore;
+use alaska_runtime::telemetry_names;
 use alaska_ycsb::{LatencyHistogram, Op, Workload, WorkloadConfig, WorkloadKind};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-fn run(threads: usize, pause_every: Option<Duration>) -> (f64, f64, u64) {
-    let rt = Arc::new(AlaskaBuilder::new().with_anchorage().build());
+struct RunOutcome {
+    mean_us: f64,
+    p99_us: f64,
+    pauses: u64,
+    hub: Arc<Telemetry>,
+}
+
+fn run(threads: usize, pause_every: Option<Duration>) -> RunOutcome {
+    let hub = Arc::new(Telemetry::new());
+    let rt = Arc::new(AlaskaBuilder::new().with_anchorage().with_telemetry(hub.clone()).build());
     let store = Arc::new(ShardedStore::new(rt.clone(), 16));
     for k in 0..10_000u64 {
         store.set(k, &Workload::value_for(k, 128));
@@ -70,19 +82,52 @@ fn run(threads: usize, pause_every: Option<Duration>) -> (f64, f64, u64) {
     for w in workers {
         merged.merge(&w.join().unwrap());
     }
-    (merged.mean_us(), merged.percentile_us(99.0), pauses)
+    RunOutcome { mean_us: merged.mean_us(), p99_us: merged.percentile_us(99.0), pauses, hub }
+}
+
+/// Pull the barrier pause-time histogram out of a run's telemetry registry.
+fn pause_histogram(hub: &Telemetry) -> Option<alaska::telemetry::HistogramSnapshot> {
+    match hub.registry().snapshot().get(telemetry_names::BARRIER_PAUSE_NS) {
+        Some(MetricValue::Histogram(h)) => Some(*h),
+        _ => None,
+    }
 }
 
 fn main() {
-    println!("{:>8} {:>12} {:>10} {:>10} {:>8}", "threads", "pauses", "mean_us", "p99_us", "count");
+    println!("request latency (application side):");
+    println!("{:>8} {:>12} {:>10} {:>10}", "threads", "pauses", "mean_us", "p99_us");
+    let mut pause_rows: Vec<(String, alaska::telemetry::HistogramSnapshot)> = Vec::new();
     for threads in [2usize, 4] {
-        let (mean, p99, _) = run(threads, None);
-        println!("{threads:>8} {:>12} {mean:>10.1} {p99:>10.1} {:>8}", "none", "-");
+        let r = run(threads, None);
+        println!("{threads:>8} {:>12} {:>10.1} {:>10.1}", "none", r.mean_us, r.p99_us);
         for interval_ms in [20u64, 100] {
-            let (mean, p99, pauses) = run(threads, Some(Duration::from_millis(interval_ms)));
-            println!("{threads:>8} {:>9} ms {mean:>10.1} {p99:>10.1} {pauses:>8}", interval_ms);
+            let r = run(threads, Some(Duration::from_millis(interval_ms)));
+            println!("{threads:>8} {:>9} ms {:>10.1} {:>10.1}", interval_ms, r.mean_us, r.p99_us);
+            if let Some(h) = pause_histogram(&r.hub) {
+                pause_rows.push((format!("{threads}t/{interval_ms}ms"), h));
+            }
+            let _ = r.pauses;
         }
     }
+
     println!();
-    println!("Shorter pause intervals raise tail latency; longer intervals approach the no-pause line.");
+    println!("stop-the-world pauses (from the telemetry registry, `alaska_barrier_pause_ns`):");
+    println!(
+        "{:>12} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "run", "count", "p50_us", "p90_us", "p99_us", "max_us"
+    );
+    for (label, h) in &pause_rows {
+        println!(
+            "{label:>12} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            h.count,
+            h.p50 as f64 / 1000.0,
+            h.p90 as f64 / 1000.0,
+            h.p99 as f64 / 1000.0,
+            h.max as f64 / 1000.0
+        );
+    }
+    println!();
+    println!(
+        "Shorter pause intervals raise tail latency; longer intervals approach the no-pause line."
+    );
 }

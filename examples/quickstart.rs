@@ -11,11 +11,13 @@ fn main() -> Result<(), alaska::AlaskaError> {
 
     // `halloc` looks like malloc but returns a *handle*: a 64-bit value with
     // the top bit set whose middle bits index the handle table.
-    let list: Vec<u64> = (0..10_000).map(|i| {
-        let h = rt.halloc(64).expect("allocation");
-        rt.write_u64(h, 0, i);
-        h
-    }).collect();
+    let list: Vec<u64> = (0..10_000)
+        .map(|i| {
+            let h = rt.halloc(64).expect("allocation");
+            rt.write_u64(h, 0, i);
+            h
+        })
+        .collect();
     let sample = list[123];
     println!("handle for element 123: {:?}", Handle::from_bits(sample).unwrap());
     println!("currently backed at:    {}", rt.translate(sample)?);

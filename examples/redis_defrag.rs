@@ -4,7 +4,8 @@
 //!
 //! Run with: `cargo run --example redis_defrag --release`
 
-use alaska::{AlaskaBuilder, ControlAlgorithm, ControlParams};
+use alaska::telemetry::MetricValue;
+use alaska::{AlaskaBuilder, ControlAlgorithm, ControlParams, Telemetry};
 use alaska_heap::freelist::FreeListAllocator;
 use alaska_heap::vmem::VirtualMemory;
 use alaska_kvstore::{HandleStorage, RawStorage, RedisLike, ValueStorage};
@@ -13,7 +14,10 @@ use std::sync::Arc;
 const MAXMEMORY: u64 = 16 * 1024 * 1024;
 const STEPS: u64 = 4_000;
 
-fn drive<S: ValueStorage>(store: &mut RedisLike<S>, mut on_step: impl FnMut(u64, &mut RedisLike<S>)) {
+fn drive<S: ValueStorage>(
+    store: &mut RedisLike<S>,
+    mut on_step: impl FnMut(u64, &mut RedisLike<S>),
+) {
     let mut key = 0u64;
     for t in 0..STEPS {
         // Insert ~10 KiB of new values per step; sizes drift so old holes are
@@ -39,7 +43,8 @@ fn main() {
     drive(&mut baseline, |_, _| {});
 
     // Alaska + Anchorage, defragmentation driven by the control algorithm.
-    let rt = Arc::new(AlaskaBuilder::new().with_anchorage().build());
+    let hub = Arc::new(Telemetry::new());
+    let rt = Arc::new(AlaskaBuilder::new().with_anchorage().with_telemetry(hub.clone()).build());
     let mut anchorage = RedisLike::new(HandleStorage::new(rt.clone()), MAXMEMORY);
     let mut control = ControlAlgorithm::new(ControlParams {
         poll_interval_ms: 50,
@@ -67,5 +72,52 @@ fn main() {
     println!("baseline  final RSS: {b:>7.2} MB (fragmentation {:.2})", baseline.fragmentation());
     println!("anchorage final RSS: {a:>7.2} MB (fragmentation {:.2})", anchorage.fragmentation());
     println!("memory saved by object mobility: {:.0}%", (1.0 - a / b) * 100.0);
-    println!("defragmentation passes: {}, objects moved: {}", control.passes(), rt.stats().objects_moved);
+    println!(
+        "defragmentation passes: {}, objects moved: {}",
+        control.passes(),
+        rt.stats().objects_moved
+    );
+
+    // Everything above came from the application; the registry has the
+    // runtime's own view of the same run.
+    rt.publish_telemetry();
+    let snap = hub.registry().snapshot();
+    println!();
+    println!("telemetry gauges and histograms:");
+    for name in [
+        alaska_runtime::telemetry_names::FRAGMENTATION_RATIO,
+        alaska_runtime::telemetry_names::RSS_BYTES,
+        alaska::anchorage::telemetry_names::SUBHEAPS,
+        alaska::anchorage::telemetry_names::RELEASED_BYTES,
+        alaska::anchorage::telemetry_names::CONTROL_OVERHEAD,
+    ] {
+        match snap.get(name) {
+            Some(MetricValue::Gauge(v)) => println!("  {name:<34} {v:.3}"),
+            Some(MetricValue::Counter(v)) => println!("  {name:<34} {v}"),
+            _ => {}
+        }
+    }
+    if let Some(MetricValue::Histogram(h)) =
+        snap.get(alaska::anchorage::telemetry_names::PASS_PAUSE_US)
+    {
+        println!(
+            "  {:<34} p50 {} us, p99 {} us, max {} us over {} passes",
+            alaska::anchorage::telemetry_names::PASS_PAUSE_US,
+            h.p50,
+            h.p99,
+            h.max,
+            h.count
+        );
+    }
+
+    let events = hub.ring().snapshot();
+    println!();
+    println!(
+        "last structured events ({} recorded, ring capacity {}):",
+        events.len(),
+        hub.ring().capacity()
+    );
+    for record in events.iter().rev().take(5).rev() {
+        println!("  {}", record.to_json().render());
+    }
 }

@@ -94,8 +94,8 @@ fn redis_like_store_is_backend_agnostic() {
 /// Small shim re-exporting the bench crate's experiment driver under a terse
 /// name for the tests above.
 mod alaska_bench_shim {
-    pub use alaska_bench::redis::{run_redis_experiment as run, Backend, RedisExperimentConfig};
     use alaska::ControlParams;
+    pub use alaska_bench::redis::{run_redis_experiment as run, Backend, RedisExperimentConfig};
 
     pub fn small_cfg(maxmemory: u64, duration_ms: u64) -> RedisExperimentConfig {
         RedisExperimentConfig {

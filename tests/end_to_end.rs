@@ -51,7 +51,9 @@ fn overhead_study_shape_matches_the_paper() {
     let subset = ["lbm", "mcf", "xalancbmk", "bfs", "crc32", "bt", "sglib", "xz"];
     let results: Vec<_> = subset
         .iter()
-        .map(|name| measure_benchmark(&find_benchmark(name).unwrap(), &[PipelineConfig::full()], scale))
+        .map(|name| {
+            measure_benchmark(&find_benchmark(name).unwrap(), &[PipelineConfig::full()], scale)
+        })
         .collect();
     let geomean = geomean_overhead_pct(&results, "alaska");
     assert!(geomean > 0.0 && geomean < 60.0, "geomean overhead out of range: {geomean:.1}%");
@@ -63,10 +65,7 @@ fn overhead_study_shape_matches_the_paper() {
         by_name("mcf"),
         by_name("lbm")
     );
-    assert!(
-        by_name("sglib") > by_name("bt"),
-        "linked lists must cost more than dense stencils"
-    );
+    assert!(by_name("sglib") > by_name("bt"), "linked lists must cost more than dense stencils");
 }
 
 /// Figure 8's ablation ordering holds: removing hoisting hurts, removing
