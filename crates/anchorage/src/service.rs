@@ -136,8 +136,41 @@ impl AnchorageService {
         self.subheaps.iter().map(|s| s.extent()).sum()
     }
 
+    /// Recompute `stats.heap_extent` from scratch — used as a backstop at the
+    /// end of a defragmentation pass, where many sub-heaps change at once.
     fn recompute_extent(&mut self) {
         self.stats.heap_extent = self.heap_extent();
+    }
+
+    /// Run a mutation against sub-heap `idx`, folding its extent change into
+    /// `stats.heap_extent`.  Allocation and free keep the stat exact with one
+    /// subtraction and one addition instead of an O(sub-heaps) resummation on
+    /// the hot path.  Wrapping arithmetic because the stat is deliberately
+    /// stale mid-defragmentation (raw sub-heap calls there, one recompute at
+    /// the end).
+    fn subheap_op<R>(&mut self, idx: usize, f: impl FnOnce(&mut SubHeap) -> R) -> R {
+        let before = self.subheaps[idx].extent();
+        let r = f(&mut self.subheaps[idx]);
+        let after = self.subheaps[idx].extent();
+        self.stats.heap_extent = self.stats.heap_extent.wrapping_add(after).wrapping_sub(before);
+        r
+    }
+
+    /// Find a sub-heap and carve a block of `size` bytes from it, opening a
+    /// fresh sub-heap when the chosen one cannot serve the request after all
+    /// (e.g. its free list had only smaller blocks).
+    fn obtain_block(&mut self, size: u64) -> Option<(usize, VirtAddr)> {
+        let idx = self.pick_subheap(size)?;
+        if let Some(a) = self.subheap_op(idx, |s| s.alloc(size)) {
+            return Some((idx, a));
+        }
+        let capacity = self.config.subheap_capacity.max(SubHeap::rounded_size(size));
+        let new_idx = self.subheaps.len();
+        self.subheaps.push(SubHeap::new(new_idx, &self.vm, capacity));
+        self.active = new_idx;
+        self.note_subheap_open(new_idx);
+        let a = self.subheap_op(new_idx, |s| s.alloc(size))?;
+        Some((new_idx, a))
     }
 
     /// Publish a sub-heap open (or empty-reuse) at `idx` to the hub, if any.
@@ -175,7 +208,7 @@ impl AnchorageService {
         if let Some(idx) =
             self.subheaps.iter().position(|s| s.live_objects() == 0 && s.capacity() >= rounded)
         {
-            self.subheaps[idx].reset();
+            self.subheap_op(idx, |s| s.reset());
             self.active = idx;
             self.note_subheap_open(idx);
             return Some(idx);
@@ -234,21 +267,7 @@ impl Service for AnchorageService {
     fn deinit(&mut self, _ctx: &ServiceContext) {}
 
     fn alloc(&mut self, size: usize, id: HandleId) -> Option<VirtAddr> {
-        let idx = self.pick_subheap(size as u64)?;
-        let (idx, addr) = match self.subheaps[idx].alloc(size as u64) {
-            Some(a) => (idx, a),
-            None => {
-                // The chosen sub-heap could not serve the request after all
-                // (e.g. its free list had only smaller blocks): open a fresh one.
-                let capacity = self.config.subheap_capacity.max(SubHeap::rounded_size(size as u64));
-                let new_idx = self.subheaps.len();
-                self.subheaps.push(SubHeap::new(new_idx, &self.vm, capacity));
-                self.active = new_idx;
-                self.note_subheap_open(new_idx);
-                let a = self.subheaps[new_idx].alloc(size as u64)?;
-                (new_idx, a)
-            }
-        };
+        let (idx, addr) = self.obtain_block(size as u64)?;
         let rounded = SubHeap::rounded_size(size as u64);
         self.objects.insert(id, ObjRecord { subheap: idx, addr, rounded, requested: size as u64 });
         self.addr_index.insert(addr.0, id);
@@ -256,7 +275,6 @@ impl Service for AnchorageService {
         self.stats.live_objects += 1;
         self.stats.total_allocated += size as u64;
         self.stats.total_allocations += 1;
-        self.recompute_extent();
         Some(addr)
     }
 
@@ -266,11 +284,34 @@ impl Service for AnchorageService {
             None => return, // already untracked (defensive: runtime double-free is caught upstream)
         };
         self.addr_index.remove(&rec.addr.0);
-        self.subheaps[rec.subheap].free(rec.addr, rec.rounded);
+        self.subheap_op(rec.subheap, |s| s.free(rec.addr, rec.rounded));
         self.stats.live_bytes -= rec.rounded;
         self.stats.live_objects -= 1;
         self.stats.total_frees += 1;
-        self.recompute_extent();
+    }
+
+    fn realloc(
+        &mut self,
+        id: HandleId,
+        _old_addr: VirtAddr,
+        _old_size: usize,
+        new_size: usize,
+    ) -> Option<VirtAddr> {
+        let old = *self.objects.get(&id)?;
+        // Destination first, so a failed request leaves the object untouched.
+        let (idx, dst) = self.obtain_block(new_size as u64)?;
+        self.vm.copy(old.addr, dst, old.requested.min(new_size as u64) as usize);
+        self.subheap_op(old.subheap, |s| s.free(old.addr, old.rounded));
+        self.addr_index.remove(&old.addr.0);
+        self.addr_index.insert(dst.0, id);
+        let rounded = SubHeap::rounded_size(new_size as u64);
+        self.objects
+            .insert(id, ObjRecord { subheap: idx, addr: dst, rounded, requested: new_size as u64 });
+        self.stats.live_bytes = self.stats.live_bytes - old.rounded + rounded;
+        self.stats.total_allocated += new_size as u64;
+        self.stats.total_allocations += 1;
+        self.stats.total_frees += 1;
+        Some(dst)
     }
 
     fn usable_size(&self, addr: VirtAddr) -> Option<usize> {
@@ -312,7 +353,7 @@ impl Service for AnchorageService {
                         .iter()
                         .position(|s| s.live_objects() == 0 && s.id != old_active)
                     {
-                        self.subheaps[idx].reset();
+                        self.subheap_op(idx, |s| s.reset());
                         self.active = idx;
                     } else {
                         let idx = self.subheaps.len();
@@ -630,6 +671,48 @@ mod tests {
             Some(alaska_telemetry::MetricValue::Gauge(v)) => assert!(*v > 0.0),
             other => panic!("expected overhead gauge, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn hrealloc_preserves_contents_and_service_records() {
+        let rt = runtime();
+        let h = rt.halloc(64).unwrap();
+        rt.write_u64(h, 0, 0xDEAD);
+        rt.write_u64(h, 56, 7);
+        let h2 = rt.hrealloc(h, 4096).unwrap();
+        assert_eq!(h, h2, "handle value survives realloc");
+        assert_eq!(rt.read_u64(h, 0), 0xDEAD);
+        assert_eq!(rt.read_u64(h, 56), 7);
+        assert_eq!(rt.usable_size(h), Some(4096));
+        // The service still tracks exactly one live object under the same ID
+        // (the seed's alloc-then-free fallback clobbered the record).
+        assert_eq!(rt.service_stats().live_objects, 1);
+        rt.hrealloc(h, 32).unwrap();
+        assert_eq!(rt.read_u64(h, 0), 0xDEAD, "shrink keeps the prefix");
+        rt.hfree(h).unwrap();
+        assert_eq!(rt.live_handles(), 0);
+        assert_eq!(rt.service_stats().live_objects, 0);
+    }
+
+    #[test]
+    fn extent_stat_stays_exact_without_recomputation() {
+        let vm = VirtualMemory::default();
+        let cfg = AnchorageConfig { subheap_capacity: 4096, ..Default::default() };
+        let mut svc = AnchorageService::with_config(vm, cfg);
+        for i in 0..50 {
+            svc.alloc(700, HandleId(i)).unwrap();
+        }
+        for i in (0..50).step_by(2) {
+            svc.free(HandleId(i), VirtAddr(0), 0);
+        }
+        for i in (1..50).step_by(4) {
+            svc.realloc(HandleId(i), VirtAddr(0), 700, 1200).unwrap();
+        }
+        assert_eq!(
+            svc.heap_stats().heap_extent,
+            svc.heap_extent(),
+            "incrementally maintained extent must equal the resummed value"
+        );
     }
 
     #[test]

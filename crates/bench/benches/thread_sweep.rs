@@ -1,0 +1,70 @@
+//! Thread-scaling sweep: aggregate throughput of the translate-heavy and
+//! alloc/free-heavy mixes from 1 to 16 worker threads, plus the contention
+//! counters (shard locks, magazines, fast-path translations) that show the
+//! sharded handle table keeping threads off each other's locks.
+
+use alaska_bench::thread_sweep::{
+    run_thread_sweep, SweepMix, ThreadSweepConfig, ThreadSweepResult,
+};
+use alaska_bench::{emit_json, env_scale};
+
+fn main() {
+    let ops_per_thread = env_scale("ALASKA_THREAD_SWEEP_OPS", 200_000.0) as u64;
+    let threads_list = [1usize, 2, 4, 8, 16];
+    let mixes = [SweepMix::TranslateHeavy, SweepMix::AllocFreeHeavy];
+    eprintln!(
+        "# Thread sweep: {ops_per_thread} ops/thread, {} configs",
+        threads_list.len() * mixes.len()
+    );
+
+    println!(
+        "{:>8} {:>18} {:>12} {:>10} {:>12} {:>12} {:>10}",
+        "threads", "mix", "total_ops", "mops", "contention", "mag_refills", "mag_flush"
+    );
+    let mut all: Vec<ThreadSweepResult> = Vec::new();
+    for &mix in &mixes {
+        for &threads in &threads_list {
+            let cfg = ThreadSweepConfig {
+                threads,
+                mix,
+                ops_per_thread,
+                object_size: 64,
+                working_set: 1024,
+            };
+            let r = run_thread_sweep(&cfg);
+            println!(
+                "{:>8} {:>18} {:>12} {:>10.2} {:>12} {:>12} {:>10}",
+                r.threads,
+                r.mix,
+                r.total_ops,
+                r.mops,
+                r.shard_lock_contention,
+                r.magazine_refills,
+                r.magazine_flushes
+            );
+            all.push(r);
+        }
+    }
+
+    println!();
+    for &mix in &mixes {
+        let rows: Vec<&ThreadSweepResult> = all.iter().filter(|r| r.mix == mix.label()).collect();
+        let base = rows.iter().find(|r| r.threads == 1).unwrap();
+        for r in rows.iter().filter(|r| r.threads > 1) {
+            println!(
+                "{}: {} threads {:.2} Mops/s ({:.2}x of 1-thread)",
+                r.mix,
+                r.threads,
+                r.mops,
+                r.mops / base.mops.max(1e-9)
+            );
+        }
+    }
+    println!();
+    println!(
+        "Expected shape (multi-core): translate throughput scales near-linearly because the \
+         fast path is a relaxed atomic load; alloc/free scales with the shard count because \
+         magazines batch shard-lock traffic. Contention counters stay near zero either way."
+    );
+    emit_json("thread_sweep", &all);
+}

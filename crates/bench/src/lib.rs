@@ -10,6 +10,7 @@
 
 pub mod memcached;
 pub mod redis;
+pub mod thread_sweep;
 
 use alaska_telemetry::json::ToJson;
 

@@ -76,6 +76,12 @@ pub struct PauseExperimentResult {
     pub max_pause_us: f64,
     /// Objects moved across all pauses.
     pub objects_moved: u64,
+    /// Contended handle-table shard-lock acquisitions during the run.
+    pub shard_lock_contention: u64,
+    /// Per-thread free-ID magazine refills during the run.
+    pub magazine_refills: u64,
+    /// Translations served on the lock-free fast path (no handle fault).
+    pub fast_path_translations: u64,
 }
 
 impl ToJson for PauseExperimentResult {
@@ -93,6 +99,9 @@ impl ToJson for PauseExperimentResult {
             ("p99_pause_us", JsonValue::F64(self.p99_pause_us)),
             ("max_pause_us", JsonValue::F64(self.max_pause_us)),
             ("objects_moved", JsonValue::U64(self.objects_moved)),
+            ("shard_lock_contention", JsonValue::U64(self.shard_lock_contention)),
+            ("magazine_refills", JsonValue::U64(self.magazine_refills)),
+            ("fast_path_translations", JsonValue::U64(self.fast_path_translations)),
         ])
     }
 }
@@ -186,6 +195,7 @@ pub fn run_pause_experiment(cfg: &PauseExperimentConfig) -> PauseExperimentResul
         _ => None,
     };
 
+    let final_stats = rt.stats();
     PauseExperimentResult {
         threads: cfg.threads,
         pause_interval_ms: cfg.pause_interval_ms.unwrap_or(0),
@@ -202,7 +212,10 @@ pub fn run_pause_experiment(cfg: &PauseExperimentConfig) -> PauseExperimentResul
         p50_pause_us: pause_hist.map_or(0.0, |h| h.p50 as f64 / 1000.0),
         p99_pause_us: pause_hist.map_or(0.0, |h| h.p99 as f64 / 1000.0),
         max_pause_us: pause_hist.map_or(0.0, |h| h.max as f64 / 1000.0),
-        objects_moved: rt.stats().objects_moved - moved_before,
+        objects_moved: final_stats.objects_moved - moved_before,
+        shard_lock_contention: final_stats.shard_lock_contention,
+        magazine_refills: final_stats.magazine_refills,
+        fast_path_translations: final_stats.translations.saturating_sub(final_stats.handle_faults),
     }
 }
 
@@ -227,6 +240,8 @@ mod tests {
         assert!(r.p99_us >= r.mean_us * 0.5);
         assert!(r.p99_pause_us >= r.p50_pause_us, "histogram percentiles must be ordered");
         assert!(r.max_pause_us > 0.0, "pauses ran, so the registry histogram must be populated");
+        assert!(r.magazine_refills > 0, "allocating workers must refill their ID magazines");
+        assert!(r.fast_path_translations > 0, "reads must translate on the lock-free fast path");
     }
 
     #[test]

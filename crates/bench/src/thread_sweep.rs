@@ -1,0 +1,208 @@
+//! Thread-scaling sweep of the runtime's hot paths.
+//!
+//! Measures aggregate throughput of two operation mixes as the worker-thread
+//! count grows, exposing whether the sharded handle table actually removed
+//! the global lock from the hot paths:
+//!
+//! * **translate-heavy** — each thread hammers `translate` over a private
+//!   working set of live handles (the Figure 5 sequence; lock-free reads), and
+//! * **alloc/free-heavy** — each thread runs a `halloc`/`write`/`hfree` loop
+//!   (magazine-buffered shard mutations).
+//!
+//! Alongside throughput, each run reports the contention counters the sharded
+//! table exports: shard-lock contention events, magazine refills/flushes and
+//! fast-path translations.  On a single-core machine the throughput columns
+//! will not scale — the counters still validate that threads stay off each
+//! other's locks.
+
+use alaska::AlaskaBuilder;
+use alaska_telemetry::json::{object, JsonValue, ToJson};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// Operation mix driven by each worker thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepMix {
+    /// Mostly `translate` over live handles, with a sprinkle of allocation.
+    TranslateHeavy,
+    /// A tight `halloc`/`write`/`hfree` loop.
+    AllocFreeHeavy,
+}
+
+impl SweepMix {
+    /// Stable label used in output rows and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SweepMix::TranslateHeavy => "translate_heavy",
+            SweepMix::AllocFreeHeavy => "alloc_free_heavy",
+        }
+    }
+}
+
+/// Parameters of one sweep configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadSweepConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Operation mix each thread drives.
+    pub mix: SweepMix,
+    /// Operations issued per thread (fixed work, so runs are comparable).
+    pub ops_per_thread: u64,
+    /// Object size in bytes.
+    pub object_size: usize,
+    /// Live handles per thread in the translate-heavy working set.
+    pub working_set: usize,
+}
+
+impl Default for ThreadSweepConfig {
+    fn default() -> Self {
+        ThreadSweepConfig {
+            threads: 1,
+            mix: SweepMix::TranslateHeavy,
+            ops_per_thread: 200_000,
+            object_size: 64,
+            working_set: 1024,
+        }
+    }
+}
+
+/// Result of one sweep configuration.
+#[derive(Debug, Clone)]
+pub struct ThreadSweepResult {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Operation-mix label.
+    pub mix: &'static str,
+    /// Operations completed across all threads.
+    pub total_ops: u64,
+    /// Wall-clock time of the measured region, in microseconds.
+    pub elapsed_us: u64,
+    /// Aggregate throughput in million operations per second.
+    pub mops: f64,
+    /// Contended shard-lock acquisitions during the run.
+    pub shard_lock_contention: u64,
+    /// Magazine refills during the run.
+    pub magazine_refills: u64,
+    /// Magazine flushes during the run.
+    pub magazine_flushes: u64,
+    /// Translations served without a handle fault.
+    pub fast_path_translations: u64,
+}
+
+impl ToJson for ThreadSweepResult {
+    fn to_json(&self) -> JsonValue {
+        object([
+            ("threads", JsonValue::U64(self.threads as u64)),
+            ("mix", JsonValue::Str(self.mix.to_string())),
+            ("total_ops", JsonValue::U64(self.total_ops)),
+            ("elapsed_us", JsonValue::U64(self.elapsed_us)),
+            ("mops", JsonValue::F64(self.mops)),
+            ("shard_lock_contention", JsonValue::U64(self.shard_lock_contention)),
+            ("magazine_refills", JsonValue::U64(self.magazine_refills)),
+            ("magazine_flushes", JsonValue::U64(self.magazine_flushes)),
+            ("fast_path_translations", JsonValue::U64(self.fast_path_translations)),
+        ])
+    }
+}
+
+/// Run one sweep configuration and return its throughput and counters.
+pub fn run_thread_sweep(cfg: &ThreadSweepConfig) -> ThreadSweepResult {
+    let rt = Arc::new(AlaskaBuilder::new().with_anchorage().build());
+    let start_line = Arc::new(Barrier::new(cfg.threads + 1));
+
+    let mut workers = Vec::new();
+    for _ in 0..cfg.threads {
+        let rt = Arc::clone(&rt);
+        let start_line = Arc::clone(&start_line);
+        let cfg = *cfg;
+        workers.push(std::thread::spawn(move || {
+            let _guard = rt.register_current_thread();
+            // Build the working set before the clock starts.
+            let handles: Vec<u64> = match cfg.mix {
+                SweepMix::TranslateHeavy => {
+                    (0..cfg.working_set).map(|_| rt.halloc(cfg.object_size).unwrap()).collect()
+                }
+                SweepMix::AllocFreeHeavy => Vec::new(),
+            };
+            start_line.wait();
+            match cfg.mix {
+                SweepMix::TranslateHeavy => {
+                    for i in 0..cfg.ops_per_thread {
+                        let h = handles[(i as usize) % handles.len()];
+                        std::hint::black_box(rt.translate(h).unwrap());
+                        if i % 1024 == 0 {
+                            rt.safepoint();
+                        }
+                    }
+                }
+                SweepMix::AllocFreeHeavy => {
+                    for i in 0..cfg.ops_per_thread {
+                        let h = rt.halloc(cfg.object_size).unwrap();
+                        rt.write_u64(h, 0, i);
+                        rt.hfree(h).unwrap();
+                    }
+                }
+            }
+            start_line.wait();
+            for h in handles {
+                rt.hfree(h).unwrap();
+            }
+        }));
+    }
+
+    start_line.wait(); // workers finished their setup
+    let start = Instant::now();
+    start_line.wait(); // workers finished the measured region
+    let elapsed = start.elapsed();
+    for w in workers {
+        w.join().expect("sweep worker panicked");
+    }
+
+    let snap = rt.stats();
+    let total_ops = cfg.ops_per_thread * cfg.threads as u64;
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    ThreadSweepResult {
+        threads: cfg.threads,
+        mix: cfg.mix.label(),
+        total_ops,
+        elapsed_us: elapsed.as_micros() as u64,
+        mops: total_ops as f64 / secs / 1e6,
+        shard_lock_contention: snap.shard_lock_contention,
+        magazine_refills: snap.magazine_refills,
+        magazine_flushes: snap.magazine_flushes,
+        fast_path_translations: snap.translations.saturating_sub(snap.handle_faults),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translate_sweep_counts_fast_path_translations() {
+        let cfg = ThreadSweepConfig {
+            threads: 2,
+            mix: SweepMix::TranslateHeavy,
+            ops_per_thread: 5_000,
+            object_size: 64,
+            working_set: 128,
+        };
+        let r = run_thread_sweep(&cfg);
+        assert_eq!(r.total_ops, 10_000);
+        assert!(r.fast_path_translations >= r.total_ops, "every op is a translation");
+        assert!(r.mops > 0.0);
+    }
+
+    #[test]
+    fn alloc_sweep_exercises_the_magazines() {
+        let cfg = ThreadSweepConfig {
+            threads: 2,
+            mix: SweepMix::AllocFreeHeavy,
+            ops_per_thread: 2_000,
+            object_size: 64,
+            working_set: 0,
+        };
+        let r = run_thread_sweep(&cfg);
+        assert!(r.magazine_refills > 0, "allocating threads must refill magazines");
+    }
+}

@@ -42,7 +42,24 @@ impl ShardedStore {
     }
 
     /// Store `value` under `key`.
+    ///
+    /// An overwrite with a same-length value updates the existing allocation
+    /// in place (memcached's hot path for counter-style workloads) — no
+    /// `halloc`/`hfree` round-trip, just a translation and a copy.
     pub fn set(&self, key: u64, value: &[u8]) {
+        {
+            let shard = self.shard(key).lock();
+            if let Some(item) = shard.get(&key) {
+                if item.len == value.len() {
+                    // Write under the shard lock so a racing same-key set
+                    // cannot free the token out from under us.
+                    self.rt.write_bytes(item.token, 0, value);
+                    drop(shard);
+                    self.rt.safepoint();
+                    return;
+                }
+            }
+        }
         // Allocate and fill the new value outside the shard lock.
         let token = self.rt.halloc(value.len().max(1)).expect("halloc failed");
         self.rt.write_bytes(token, 0, value);
@@ -128,6 +145,19 @@ mod tests {
         s.set(9, &[1u8; 100]);
         s.set(9, &[2u8; 50]);
         assert_eq!(s.get(9).unwrap(), vec![2u8; 50]);
+        assert_eq!(s.runtime().live_handles(), 1);
+    }
+
+    #[test]
+    fn same_length_overwrite_updates_in_place() {
+        let s = store(2);
+        s.set(5, &[7u8; 64]);
+        let before = s.runtime().stats();
+        s.set(5, &[8u8; 64]);
+        assert_eq!(s.get(5).unwrap(), vec![8u8; 64]);
+        let delta = s.runtime().stats().since(&before);
+        assert_eq!(delta.hallocs, 0, "same-length overwrite must not allocate");
+        assert_eq!(delta.hfrees, 0);
         assert_eq!(s.runtime().live_handles(), 1);
     }
 

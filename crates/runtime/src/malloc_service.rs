@@ -81,11 +81,11 @@ mod tests {
         let vm = VirtualMemory::shared(4096);
         let mut s = MallocService::new(vm.clone());
         let a = s.alloc(64, HandleId(0)).unwrap();
-        let mut table = HandleTable::new();
+        let table = HandleTable::new();
         let id = table.allocate(a, 64).unwrap();
         let pinned = HashSet::new();
         let stats = RuntimeStats::new();
-        let mut world = StoppedWorld::new(&mut table, &pinned, &vm, &stats);
+        let mut world = StoppedWorld::new(&table, &pinned, &vm, &stats);
         let out = s.defragment(&mut world, None);
         assert_eq!(out.objects_moved, 0);
         assert_eq!(table.backing(id), Some(a));

@@ -16,6 +16,24 @@
 //! Both surfaces funnel through the same handle table, pin tracking and
 //! barrier machinery, so the defragmentation behaviour measured in the figure
 //! harnesses is produced by the same code paths regardless of front end.
+//!
+//! # Scalability
+//!
+//! The hot paths are engineered so that worker threads share no cache line in
+//! the common case:
+//!
+//! * `translate` is a lock-free load from the sharded
+//!   [`HandleTable`](crate::handle_table) — no mutex anywhere on the path;
+//! * `halloc`/`hfree` draw handle IDs from a **per-thread magazine**
+//!   ([`ThreadState::magazine`]) that refills/flushes through one table shard
+//!   in batches of [`MAGAZINE_REFILL`];
+//! * event counters accumulate in per-thread [`ThreadHotStats`] and are only
+//!   folded together when [`Runtime::stats`] is called;
+//! * the current thread's registration is cached in a thread-local slot, so
+//!   `safepoint`/`translate` do not pay a hash-map lookup per call.
+//!
+//! Only the backing-memory [`Service`] remains a single mutex — its
+//! allocations are orders of magnitude rarer than translations.
 
 use crate::barrier::BarrierController;
 use crate::error::{AlaskaError, Result};
@@ -25,7 +43,7 @@ use crate::malloc_service::MallocService;
 use crate::service::{DefragOutcome, Service, ServiceContext, StoppedWorld};
 use crate::stats::{RuntimeStats, StatsSnapshot};
 use crate::telemetry::RuntimeTelemetry;
-use crate::thread::{ThreadRegistry, ThreadState};
+use crate::thread::{ThreadHotStats, ThreadRegistry, ThreadState};
 use alaska_heap::vmem::{VirtAddr, VirtualMemory};
 use alaska_heap::AllocStats;
 use alaska_telemetry::Telemetry;
@@ -38,16 +56,29 @@ use std::time::Instant;
 
 static NEXT_RUNTIME_ID: AtomicUsize = AtomicUsize::new(1);
 
+/// Capacity of a per-thread free-ID magazine; at this size half is flushed
+/// back to the owning shard.
+const MAGAZINE_CAP: usize = 64;
+/// Batch size of a magazine refill from a shard.
+const MAGAZINE_REFILL: usize = 32;
+
+/// This thread's registrations, with a one-slot cache for the runtime it used
+/// last (the overwhelmingly common case is a thread talking to one runtime).
+#[derive(Default)]
+struct ThreadTls {
+    current: Option<(usize, Arc<ThreadState>)>,
+    all: HashMap<usize, Arc<ThreadState>>,
+}
+
 thread_local! {
-    /// Per-thread map from runtime instance ID to this thread's registration.
-    static THREAD_STATES: RefCell<HashMap<usize, Arc<ThreadState>>> = RefCell::new(HashMap::new());
+    static THREAD_STATES: RefCell<ThreadTls> = RefCell::new(ThreadTls::default());
 }
 
 /// The Alaska runtime.  See the [module documentation](self).
 pub struct Runtime {
     id: usize,
     vm: VirtualMemory,
-    table: Mutex<HandleTable>,
+    table: HandleTable,
     service: Mutex<Box<dyn Service>>,
     threads: ThreadRegistry,
     barrier: BarrierController,
@@ -106,10 +137,23 @@ pub struct ThreadGuard<'rt> {
 
 impl Drop for ThreadGuard<'_> {
     fn drop(&mut self) {
-        self.rt.threads.unregister(self.id);
-        THREAD_STATES.with(|m| {
-            m.borrow_mut().remove(&self.rt.id);
+        let state = THREAD_STATES.with(|tls| {
+            let mut t = tls.borrow_mut();
+            if t.current.as_ref().is_some_and(|(rt, _)| *rt == self.rt.id) {
+                t.current = None;
+            }
+            t.all.remove(&self.rt.id)
         });
+        if let Some(state) = state {
+            // Hand unused magazine IDs back to their shards and roll this
+            // thread's counters into the global totals before it vanishes.
+            let ids = std::mem::take(&mut *state.magazine.lock());
+            if !ids.is_empty() {
+                self.rt.table.restock_ids(&ids);
+            }
+            state.hot.flush_into(&self.rt.stats);
+        }
+        self.rt.threads.unregister(self.id);
     }
 }
 
@@ -127,7 +171,7 @@ impl Runtime {
         Runtime {
             id: NEXT_RUNTIME_ID.fetch_add(1, Ordering::Relaxed),
             vm,
-            table: Mutex::new(HandleTable::new()),
+            table: HandleTable::new(),
             service: Mutex::new(service),
             threads: ThreadRegistry::new(),
             barrier: BarrierController::new(),
@@ -182,7 +226,11 @@ impl Runtime {
     pub fn publish_telemetry(&self) {
         if let Some(tel) = self.telemetry.get() {
             let registry = tel.hub.registry();
-            self.stats.publish(registry);
+            let snap = self.stats();
+            snap.publish(registry);
+            registry
+                .counter(crate::telemetry::names::FAST_PATH_TRANSLATIONS)
+                .store(snap.translations.saturating_sub(snap.handle_faults));
             registry.gauge(crate::telemetry::names::RSS_BYTES).set_u64(self.rss_bytes());
             registry
                 .gauge(crate::telemetry::names::FRAGMENTATION_RATIO)
@@ -195,10 +243,22 @@ impl Runtime {
     // Thread registration and safepoints
     // ------------------------------------------------------------------
 
+    /// The calling thread's registration with this runtime, registering it on
+    /// first use.  A one-slot thread-local cache makes the repeat case (the
+    /// same thread talking to the same runtime) a borrow, a compare and an
+    /// `Arc` clone — no hash-map lookup.
+    #[inline]
     fn current_thread(&self) -> Arc<ThreadState> {
-        THREAD_STATES.with(|m| {
-            let mut map = m.borrow_mut();
-            map.entry(self.id).or_insert_with(|| self.threads.register()).clone()
+        THREAD_STATES.with(|tls| {
+            if let Some((rt, st)) = &tls.borrow().current {
+                if *rt == self.id {
+                    return Arc::clone(st);
+                }
+            }
+            let mut t = tls.borrow_mut();
+            let st = Arc::clone(t.all.entry(self.id).or_insert_with(|| self.threads.register()));
+            t.current = Some((self.id, Arc::clone(&st)));
+            st
         })
     }
 
@@ -216,16 +276,15 @@ impl Runtime {
         self.threads.len()
     }
 
-    /// A safepoint poll: the fast path is a single atomic load; if a barrier
-    /// has been requested the thread parks until it completes.  The compiler
-    /// inserts these at loop back-edges, function entries and external-call
-    /// boundaries (§4.1.3).
+    /// A safepoint poll: the fast path is an atomic load of the barrier flag;
+    /// if a barrier has been requested the thread parks until it completes.
+    /// The compiler inserts these at loop back-edges, function entries and
+    /// external-call boundaries (§4.1.3).
     #[inline]
     pub fn safepoint(&self) {
-        RuntimeStats::bump(&self.stats.safepoint_polls);
+        let state = self.current_thread();
+        RuntimeStats::bump(&state.hot.safepoint_polls);
         if self.barrier.is_requested() {
-            let state = self.current_thread();
-            state.safepoint_polls.fetch_add(1, Ordering::Relaxed);
             self.barrier.park_at_safepoint(&state);
         }
     }
@@ -248,8 +307,29 @@ impl Runtime {
     // Allocation
     // ------------------------------------------------------------------
 
+    /// Pop a reserved handle ID from this thread's magazine, refilling it from
+    /// the thread's home shard when empty.
+    fn acquire_id(&self, state: &ThreadState) -> Option<HandleId> {
+        let mut mag = state.magazine.lock();
+        if let Some(id) = mag.pop() {
+            return Some(HandleId(id));
+        }
+        let hint = state.id as usize % self.table.shard_count();
+        if self.table.reserve_ids(hint, MAGAZINE_REFILL, &mut mag) == 0 {
+            return None;
+        }
+        RuntimeStats::bump(&state.hot.magazine_refills);
+        mag.pop().map(HandleId)
+    }
+
     /// Allocate `size` bytes of handle-backed memory; returns the handle bits
     /// the application treats as a pointer.
+    ///
+    /// The ID comes from the thread's magazine (no shard lock in the common
+    /// case); the entry is published with its backing already set, so there is
+    /// no window where a concurrent translation can observe a live entry with
+    /// a NULL backing (the old allocate → service-alloc → set-backing dance
+    /// took three lock acquisitions and exposed exactly that window).
     ///
     /// # Errors
     ///
@@ -261,26 +341,31 @@ impl Runtime {
         if size as u64 >= crate::MAX_OBJECT_SIZE {
             return Err(AlaskaError::ObjectTooLarge { requested: size as u64 });
         }
-        let id = {
-            let mut table = self.table.lock();
-            table.allocate(VirtAddr::NULL, size as u32).ok_or(AlaskaError::HandleTableFull)?
-        };
+        let state = self.current_thread();
+        let id = self.acquire_id(&state).ok_or(AlaskaError::HandleTableFull)?;
         let addr = {
             let mut service = self.service.lock();
             match service.alloc(size, id) {
                 Some(a) => a,
                 None => {
-                    self.table.lock().release(id);
+                    // Release-on-OOM: the reserved ID goes back to the
+                    // magazine instead of leaking.
+                    state.magazine.lock().push(id.0);
                     return Err(AlaskaError::OutOfMemory { requested: size as u64 });
                 }
             }
         };
-        self.table.lock().set_backing(id, addr);
-        RuntimeStats::bump(&self.stats.hallocs);
+        self.table.publish(id, addr, size as u32);
+        RuntimeStats::bump(&state.hot.hallocs);
         Ok(Handle::new(id).bits())
     }
 
     /// Free a handle previously returned by [`Runtime::halloc`].
+    ///
+    /// Claiming the entry is a CAS, so of two racing frees exactly one
+    /// succeeds and the other reports [`AlaskaError::InvalidHandle`].  The
+    /// freed ID parks in this thread's magazine for reuse; surplus beyond
+    /// [`MAGAZINE_CAP`] is flushed back to the owning shard in a batch.
     ///
     /// # Errors
     ///
@@ -290,20 +375,31 @@ impl Runtime {
         self.safepoint();
         let handle = Handle::from_bits(value).ok_or(AlaskaError::InvalidHandle { value })?;
         let id = handle.id();
-        let (addr, size) = {
-            let table = self.table.lock();
-            let e = table.get(id).ok_or(AlaskaError::InvalidHandle { value })?;
-            (e.backing, e.size)
-        };
-        self.service.lock().free(id, addr, size as usize);
-        self.table.lock().release(id);
-        RuntimeStats::bump(&self.stats.hfrees);
+        let e = self.table.release_reserved(id).ok_or(AlaskaError::InvalidHandle { value })?;
+        self.service.lock().free(id, e.backing, e.size as usize);
+        let state = self.current_thread();
+        {
+            let mut mag = state.magazine.lock();
+            mag.push(id.0);
+            if mag.len() >= MAGAZINE_CAP {
+                // Flush the cold (oldest) half, keep the hot LIFO end.
+                let surplus: Vec<u32> = mag.drain(..MAGAZINE_CAP / 2).collect();
+                self.table.restock_ids(&surplus);
+                RuntimeStats::bump(&state.hot.magazine_flushes);
+            }
+        }
+        RuntimeStats::bump(&state.hot.hfrees);
         Ok(())
     }
 
     /// Resize the object behind `value` to `new_size`, preserving its handle
     /// (the application's "pointer" value does not change — one of the perks of
     /// the indirection).
+    ///
+    /// The handle-table entry never leaves the `Live` state: the table is
+    /// repointed with one atomic update rather than a release/reallocate
+    /// round-trip, so concurrent translations of the same handle stay valid
+    /// throughout.
     ///
     /// # Errors
     ///
@@ -315,26 +411,24 @@ impl Runtime {
         }
         let handle = Handle::from_bits(value).ok_or(AlaskaError::InvalidHandle { value })?;
         let id = handle.id();
-        let (old_addr, old_size) = {
-            let table = self.table.lock();
-            let e = table.get(id).ok_or(AlaskaError::InvalidHandle { value })?;
-            (e.backing, e.size)
-        };
-        let new_addr = {
-            let mut service = self.service.lock();
-            service
-                .alloc(new_size, id)
-                .ok_or(AlaskaError::OutOfMemory { requested: new_size as u64 })?
-        };
-        self.vm.copy(old_addr, new_addr, old_size.min(new_size as u32) as usize);
-        {
-            let mut table = self.table.lock();
-            table.release(id);
-            // Reallocate the same ID so the handle value stays valid.
-            let again = table.allocate(new_addr, new_size as u32);
-            debug_assert_eq!(again, Some(id), "freed entry must be reused immediately");
+        let e = self.table.get(id).ok_or(AlaskaError::InvalidHandle { value })?;
+        let (old_addr, old_size) = (e.backing, e.size as usize);
+        let mut service = self.service.lock();
+        if let Some(new_addr) = service.realloc(id, old_addr, old_size, new_size) {
+            // ID-keyed services (Anchorage) rebind the record and copy the
+            // bytes themselves.
+            drop(service);
+            self.table.update(id, new_addr, new_size as u32);
+            return Ok(value);
         }
-        self.service.lock().free(id, old_addr, old_size as usize);
+        // Address-keyed services: alloc → copy → free under the same ID.
+        let new_addr = service
+            .alloc(new_size, id)
+            .ok_or(AlaskaError::OutOfMemory { requested: new_size as u64 })?;
+        drop(service);
+        self.vm.copy(old_addr, new_addr, old_size.min(new_size));
+        self.table.update(id, new_addr, new_size as u32);
+        self.service.lock().free(id, old_addr, old_size);
         Ok(value)
     }
 
@@ -345,34 +439,44 @@ impl Runtime {
     /// Translate a handle (or pass a raw pointer through) to an address.
     ///
     /// This is the 6-instruction sequence of Figure 5: a handle check, an ID
-    /// extraction, a handle-table load and an offset add.
+    /// extraction, a handle-table load and an offset add — and it is entirely
+    /// lock-free: the table lookup is one relaxed atomic load of the packed
+    /// entry word.
     ///
     /// # Errors
     ///
     /// Returns [`AlaskaError::InvalidHandle`] for a dangling handle.
     pub fn translate(&self, value: u64) -> Result<VirtAddr> {
-        RuntimeStats::bump(&self.stats.handle_checks);
+        let state = self.current_thread();
+        self.translate_with(&state.hot, value)
+    }
+
+    #[inline]
+    fn translate_with(&self, hot: &ThreadHotStats, value: u64) -> Result<VirtAddr> {
+        RuntimeStats::bump(&hot.handle_checks);
         let handle = match Handle::from_bits(value) {
             Some(h) => h,
             None => {
-                RuntimeStats::bump(&self.stats.pointer_passthroughs);
+                RuntimeStats::bump(&hot.pointer_passthroughs);
                 return Ok(VirtAddr(value));
             }
         };
-        let mut table = self.table.lock();
         let id = handle.id();
-        let entry = *table.get(id).ok_or(AlaskaError::InvalidHandle { value })?;
-        if self.handle_faults.load(Ordering::Relaxed) && entry.state == HteState::Invalid {
+        let (addr, state) = self.table.load(id).ok_or(AlaskaError::InvalidHandle { value })?;
+        if state == HteState::Invalid && self.handle_faults.load(Ordering::Relaxed) {
             // Handle fault (§7): the object was speculatively moved or swapped
-            // out.  Our model services the fault by revalidating the entry.
-            RuntimeStats::bump(&self.stats.handle_faults);
-            if let Some(tel) = self.telemetry.get() {
-                tel.record_handle_fault(id.0 as u64);
+            // out.  Our model services the fault by revalidating the entry;
+            // the CAS makes exactly one of any racing faulting threads count
+            // and trace the fault.
+            if self.table.fault_recover(id) {
+                RuntimeStats::bump(&self.stats.handle_faults);
+                if let Some(tel) = self.telemetry.get() {
+                    tel.record_handle_fault(id.0 as u64);
+                }
             }
-            table.set_state(id, HteState::Live);
         }
-        RuntimeStats::bump(&self.stats.translations);
-        Ok(entry.backing.add(handle.offset() as u64))
+        RuntimeStats::bump(&hot.translations);
+        Ok(addr.add(handle.offset() as u64))
     }
 
     /// Translate and pin: the returned guard keeps the object immobile until
@@ -383,13 +487,13 @@ impl Runtime {
     /// Panics if `value` is a dangling handle — using freed memory is undefined
     /// behaviour in the source program, surfaced loudly here.
     pub fn pin(&self, value: u64) -> Pinned<'_> {
+        let state = self.current_thread();
         let addr = self
-            .translate(value)
+            .translate_with(&state.hot, value)
             .unwrap_or_else(|e| panic!("pin of invalid value {value:#x}: {e}"));
         if is_handle(value) {
-            let state = self.current_thread();
             state.pins.lock().push_native(value);
-            RuntimeStats::bump(&self.stats.pins);
+            RuntimeStats::bump(&state.hot.pins);
         }
         Pinned { rt: self, bits: value, addr }
     }
@@ -398,7 +502,7 @@ impl Runtime {
         if is_handle(value) {
             let state = self.current_thread();
             state.pins.lock().pop_native(value);
-            RuntimeStats::bump(&self.stats.unpins);
+            RuntimeStats::bump(&state.hot.unpins);
         }
     }
 
@@ -429,14 +533,14 @@ impl Runtime {
     ///
     /// Returns [`AlaskaError::InvalidHandle`] for a dangling handle.
     pub fn translate_into_slot(&self, value: u64, slot: usize) -> Result<VirtAddr> {
-        let addr = self.translate(value)?;
+        let state = self.current_thread();
+        let addr = self.translate_with(&state.hot, value)?;
         if is_handle(value) {
-            let state = self.current_thread();
             let mut pins = state.pins.lock();
             let frame =
                 pins.top_frame_mut().expect("translate_into_slot requires an active pin frame");
             frame.set(slot, value);
-            RuntimeStats::bump(&self.stats.pins);
+            RuntimeStats::bump(&state.hot.pins);
         }
         Ok(addr)
     }
@@ -449,7 +553,7 @@ impl Runtime {
         if let Some(frame) = pins.top_frame_mut() {
             frame.clear(slot);
         }
-        RuntimeStats::bump(&self.stats.unpins);
+        RuntimeStats::bump(&state.hot.unpins);
     }
 
     // ------------------------------------------------------------------
@@ -486,6 +590,11 @@ impl Runtime {
 
     /// Stop the world, unify all threads' pin sets, and run `f` with the
     /// stopped world.  Other threads resume when `f` returns.
+    ///
+    /// Every handle-table shard lock is held (acquired in index order) while
+    /// `f` runs, so no ID can be reserved or restocked during the pause;
+    /// entry words remain atomically mutable, which is how the service
+    /// relocates objects while straggler threads may still translate.
     pub fn with_stopped_world<R>(&self, f: impl FnOnce(&mut StoppedWorld<'_>) -> R) -> R {
         let start = Instant::now();
         let me = self.current_thread();
@@ -500,8 +609,8 @@ impl Runtime {
         }
 
         let result = {
-            let mut table = self.table.lock();
-            let mut world = StoppedWorld::new(&mut table, &pinned, &self.vm, &self.stats);
+            let _shards = self.table.lock_all();
+            let mut world = StoppedWorld::new(&self.table, &pinned, &self.vm, &self.stats);
             f(&mut world)
         };
 
@@ -513,7 +622,7 @@ impl Runtime {
             tel.record_barrier(
                 stop_wait.as_nanos() as u64,
                 pause.as_nanos() as u64,
-                self.stats.safepoint_polls.load(Ordering::Relaxed),
+                self.stats().safepoint_polls,
             );
         }
         result
@@ -563,42 +672,47 @@ impl Runtime {
     /// Returns [`AlaskaError::InvalidHandle`] if `value` is not a live handle.
     pub fn mark_invalid(&self, value: u64) -> Result<()> {
         let handle = Handle::from_bits(value).ok_or(AlaskaError::InvalidHandle { value })?;
-        let mut table = self.table.lock();
-        if table.get(handle.id()).is_none() {
-            return Err(AlaskaError::InvalidHandle { value });
+        if self.table.try_set_state(handle.id(), HteState::Invalid) {
+            Ok(())
+        } else {
+            Err(AlaskaError::InvalidHandle { value })
         }
-        table.set_state(handle.id(), HteState::Invalid);
-        Ok(())
     }
 
     // ------------------------------------------------------------------
     // Introspection
     // ------------------------------------------------------------------
 
-    /// Snapshot of the runtime event counters.
+    /// Snapshot of the runtime event counters: the global totals plus every
+    /// registered thread's private counters, folded together.
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        let mut snap = self.stats.snapshot();
+        for t in self.threads.snapshot() {
+            t.hot.fold_into(&mut snap);
+        }
+        snap.shard_lock_contention += self.table.contention_events();
+        snap
     }
 
     /// Number of live handles.
     pub fn live_handles(&self) -> u64 {
-        self.table.lock().live_entries()
+        self.table.live_entries()
     }
 
     /// Density of live entries in the handle table (§4.2.1).
     pub fn handle_table_density(&self) -> f64 {
-        self.table.lock().density()
+        self.table.density()
     }
 
     /// Handle-table metadata overhead in bytes.
     pub fn handle_table_bytes(&self) -> u64 {
-        self.table.lock().metadata_bytes()
+        self.table.metadata_bytes()
     }
 
     /// Requested size of the object behind `value`, if it is a live handle.
     pub fn usable_size(&self, value: u64) -> Option<usize> {
         let handle = Handle::from_bits(value)?;
-        self.table.lock().get(handle.id()).map(|e| e.size as usize)
+        self.table.get(handle.id()).map(|e| e.size as usize)
     }
 
     /// Statistics of the installed service's heap.
@@ -628,7 +742,6 @@ impl Drop for Runtime {
         self.service.lock().deinit(&ctx);
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

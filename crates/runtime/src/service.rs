@@ -68,6 +68,23 @@ pub trait Service: Send {
     /// originally requested size).
     fn free(&mut self, id: HandleId, addr: VirtAddr, size: usize);
 
+    /// Resize object `id` in place of the alloc/copy/free dance: on success
+    /// the service has allocated the new block, copied `old_size.min(new_size)`
+    /// bytes from `old_addr`, released the old block, and keeps `id` mapped to
+    /// the returned address.  Services that key bookkeeping by handle ID must
+    /// implement this (a plain `alloc` with a duplicate ID would clobber their
+    /// records); address-keyed services may keep the default, which returns
+    /// `None` and lets the runtime fall back to alloc → copy → free.
+    fn realloc(
+        &mut self,
+        _id: HandleId,
+        _old_addr: VirtAddr,
+        _old_size: usize,
+        _new_size: usize,
+    ) -> Option<VirtAddr> {
+        None
+    }
+
     /// Usable size of the block at `addr`, if this service owns it.
     fn usable_size(&self, addr: VirtAddr) -> Option<usize>;
 
@@ -106,9 +123,12 @@ pub trait Service: Send {
 /// A view of the stopped world handed to [`Service::defragment`].
 ///
 /// All threads are parked (or in external code) while this value exists, so
-/// the service may move any object that is not pinned.
+/// the service may move any object that is not pinned.  The handle table is
+/// held by shared reference: entry words are atomic, and the runtime holds
+/// every shard lock for the duration of the pause, so no entry can be
+/// allocated or released underneath the service.
 pub struct StoppedWorld<'a> {
-    table: &'a mut HandleTable,
+    table: &'a HandleTable,
     pinned: &'a HashSet<HandleId>,
     vm: &'a VirtualMemory,
     stats: &'a RuntimeStats,
@@ -116,7 +136,7 @@ pub struct StoppedWorld<'a> {
 
 impl<'a> StoppedWorld<'a> {
     pub(crate) fn new(
-        table: &'a mut HandleTable,
+        table: &'a HandleTable,
         pinned: &'a HashSet<HandleId>,
         vm: &'a VirtualMemory,
         stats: &'a RuntimeStats,
@@ -149,9 +169,21 @@ impl<'a> StoppedWorld<'a> {
         self.table.get(id).map(|e| e.size)
     }
 
-    /// All live handle IDs (heap scan).
+    /// All live handle IDs (heap scan over every shard).
     pub fn live_ids(&self) -> Vec<HandleId> {
-        self.table.live_ids().collect()
+        self.table.live_ids()
+    }
+
+    /// Number of handle-table shards, for services that want to walk the
+    /// table incrementally with [`StoppedWorld::live_ids_in_shard`].
+    pub fn shard_count(&self) -> usize {
+        self.table.shard_count()
+    }
+
+    /// Live handle IDs owned by shard `shard` — lets a service scan the table
+    /// one shard at a time instead of materializing one flat vector.
+    pub fn live_ids_in_shard(&self, shard: usize) -> Vec<HandleId> {
+        self.table.live_ids_in_shard(shard)
     }
 
     /// Move object `id` to `dst`: copy its bytes and update its handle-table
@@ -200,14 +232,14 @@ mod tests {
 
     #[test]
     fn move_object_copies_and_updates_hte() {
-        let (mut table, pinned, vm, stats) = world_parts();
+        let (table, pinned, vm, stats) = world_parts();
         let region = vm.map(8192);
         let src = region;
         let dst = region.add(4096);
         vm.write_bytes(src, b"payload!");
         let id = table.allocate(src, 8).unwrap();
         {
-            let mut world = StoppedWorld::new(&mut table, &pinned, &vm, &stats);
+            let mut world = StoppedWorld::new(&table, &pinned, &vm, &stats);
             assert!(world.move_object(id, dst));
         }
         assert_eq!(table.backing(id), Some(dst));
@@ -218,11 +250,11 @@ mod tests {
 
     #[test]
     fn pinned_objects_refuse_to_move() {
-        let (mut table, mut pinned, vm, stats) = world_parts();
+        let (table, mut pinned, vm, stats) = world_parts();
         let region = vm.map(8192);
         let id = table.allocate(region, 16).unwrap();
         pinned.insert(id);
-        let mut world = StoppedWorld::new(&mut table, &pinned, &vm, &stats);
+        let mut world = StoppedWorld::new(&table, &pinned, &vm, &stats);
         assert!(world.is_pinned(id));
         assert!(!world.move_object(id, region.add(4096)));
         assert_eq!(stats.snapshot().objects_moved, 0);
@@ -230,33 +262,49 @@ mod tests {
 
     #[test]
     fn moving_to_same_location_is_a_cheap_noop() {
-        let (mut table, pinned, vm, stats) = world_parts();
+        let (table, pinned, vm, stats) = world_parts();
         let region = vm.map(4096);
         let id = table.allocate(region, 16).unwrap();
-        let mut world = StoppedWorld::new(&mut table, &pinned, &vm, &stats);
+        let mut world = StoppedWorld::new(&table, &pinned, &vm, &stats);
         assert!(world.move_object(id, region));
         assert_eq!(stats.snapshot().bytes_moved, 0);
     }
 
     #[test]
     fn dead_objects_cannot_move() {
-        let (mut table, pinned, vm, stats) = world_parts();
+        let (table, pinned, vm, stats) = world_parts();
         let region = vm.map(4096);
         let id = table.allocate(region, 16).unwrap();
         table.release(id);
-        let mut world = StoppedWorld::new(&mut table, &pinned, &vm, &stats);
+        let mut world = StoppedWorld::new(&table, &pinned, &vm, &stats);
         assert!(!world.move_object(id, region.add(64)));
     }
 
     #[test]
     fn set_invalid_toggles_state() {
-        let (mut table, pinned, vm, stats) = world_parts();
+        let (table, pinned, vm, stats) = world_parts();
         let region = vm.map(4096);
         let id = table.allocate(region, 16).unwrap();
         {
-            let mut world = StoppedWorld::new(&mut table, &pinned, &vm, &stats);
+            let mut world = StoppedWorld::new(&table, &pinned, &vm, &stats);
             world.set_invalid(id, true);
         }
         assert_eq!(table.get(id).unwrap().state, HteState::Invalid);
+    }
+
+    #[test]
+    fn shard_scans_cover_all_live_ids() {
+        let (table, pinned, vm, stats) = world_parts();
+        let region = vm.map(8192);
+        let ids: Vec<_> =
+            (0..10).map(|i| table.allocate(region.add(i * 16), 16).unwrap()).collect();
+        let world = StoppedWorld::new(&table, &pinned, &vm, &stats);
+        let mut by_shard: Vec<HandleId> =
+            (0..world.shard_count()).flat_map(|s| world.live_ids_in_shard(s)).collect();
+        by_shard.sort_unstable();
+        let mut all = world.live_ids();
+        all.sort_unstable();
+        assert_eq!(by_shard, all);
+        assert_eq!(all.len(), ids.len());
     }
 }

@@ -67,6 +67,18 @@ macro_rules! define_stats {
                     $($name: self.$name - earlier.$name,)+
                 }
             }
+
+            /// Mirror every counter of this snapshot into `registry` as
+            /// `alaska_<name>` (same contract as [`RuntimeStats::publish`]).
+            /// Used when the caller has already folded per-thread counters
+            /// into the snapshot and wants the folded totals exported.
+            pub fn publish(&self, registry: &Registry) {
+                $(
+                    registry
+                        .counter(concat!("alaska_", stringify!($name)))
+                        .store(self.$name);
+                )+
+            }
         }
     };
 }
@@ -102,6 +114,12 @@ define_stats! {
     handle_faults,
     /// Safepoint polls executed across all threads.
     safepoint_polls,
+    /// Times a mutating path found a handle-table shard lock contended.
+    shard_lock_contention,
+    /// Per-thread free-ID magazine refills (batch reservations from a shard).
+    magazine_refills,
+    /// Per-thread free-ID magazine flushes (batch returns to a shard).
+    magazine_flushes,
 }
 
 impl RuntimeStats {

@@ -33,6 +33,18 @@ pub mod names {
     pub const FRAGMENTATION_RATIO: &str = "alaska_fragmentation_ratio";
     /// Gauge of live handles in the handle table.
     pub const LIVE_HANDLES: &str = "alaska_live_handles";
+    /// Counter of contended handle-table shard-lock acquisitions (mirrors
+    /// `StatsSnapshot::shard_lock_contention`).
+    pub const SHARD_LOCK_CONTENTION: &str = "alaska_shard_lock_contention";
+    /// Counter of per-thread free-ID magazine refills (mirrors
+    /// `StatsSnapshot::magazine_refills`).
+    pub const MAGAZINE_REFILLS: &str = "alaska_magazine_refills";
+    /// Counter of per-thread free-ID magazine flushes (mirrors
+    /// `StatsSnapshot::magazine_flushes`).
+    pub const MAGAZINE_FLUSHES: &str = "alaska_magazine_flushes";
+    /// Counter of translations served on the lock-free fast path (total
+    /// translations minus handle faults).
+    pub const FAST_PATH_TRANSLATIONS: &str = "alaska_fast_path_translations";
 }
 
 /// Resolved metric handles for the runtime's instrumentation sites.

@@ -6,14 +6,92 @@
 //! The barrier (paper §4.1.3) only needs two facts per thread: "is it stopped
 //! somewhere its pin sets are valid?" and "which handles does it pin?" — both
 //! are answered from this structure.
+//!
+//! The state also carries two pieces of hot-path scalability machinery:
+//!
+//! * a **free-ID magazine** — a small LIFO of handle-table IDs reserved from
+//!   one shard in batches, so the common `halloc`/`hfree` path touches no
+//!   shard lock at all, and
+//! * **per-thread event counters** ([`ThreadHotStats`]) — translation, pin
+//!   and allocation counts accumulate on thread-private cache lines instead
+//!   of bouncing one shared counter between cores; `Runtime::stats` folds
+//!   them into the global totals on demand.
 
 use crate::pinset::PinSets;
+use crate::stats::{RuntimeStats, StatsSnapshot};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Identifier assigned to a registered thread.
 pub type RuntimeThreadId = u64;
+
+/// Per-thread relaxed counters for events too hot to share a cache line
+/// across cores.  Folded into [`StatsSnapshot`] on demand and flushed into
+/// the global [`RuntimeStats`] when the thread unregisters.
+#[derive(Debug, Default)]
+pub struct ThreadHotStats {
+    /// `halloc` calls served on this thread.
+    pub hallocs: AtomicU64,
+    /// `hfree` calls served on this thread.
+    pub hfrees: AtomicU64,
+    /// Handle checks executed on this thread.
+    pub handle_checks: AtomicU64,
+    /// Translations that indexed the handle table on this thread.
+    pub translations: AtomicU64,
+    /// Raw-pointer pass-throughs on this thread.
+    pub pointer_passthroughs: AtomicU64,
+    /// Native pin operations on this thread.
+    pub pins: AtomicU64,
+    /// Native unpin operations on this thread.
+    pub unpins: AtomicU64,
+    /// Safepoint polls executed by this thread.
+    pub safepoint_polls: AtomicU64,
+    /// Times this thread's magazine refilled from a shard.
+    pub magazine_refills: AtomicU64,
+    /// Times this thread's magazine flushed surplus IDs back to a shard.
+    pub magazine_flushes: AtomicU64,
+}
+
+macro_rules! for_each_hot_counter {
+    ($macro:ident) => {
+        $macro!(
+            hallocs,
+            hfrees,
+            handle_checks,
+            translations,
+            pointer_passthroughs,
+            pins,
+            unpins,
+            safepoint_polls,
+            magazine_refills,
+            magazine_flushes
+        )
+    };
+}
+
+impl ThreadHotStats {
+    /// Add this thread's counters into a snapshot being assembled.
+    pub fn fold_into(&self, snap: &mut StatsSnapshot) {
+        macro_rules! fold {
+            ($($name:ident),+) => {
+                $(snap.$name += self.$name.load(Ordering::Relaxed);)+
+            };
+        }
+        for_each_hot_counter!(fold);
+    }
+
+    /// Drain this thread's counters into the global stats (on unregister), so
+    /// totals survive thread exit.
+    pub fn flush_into(&self, global: &RuntimeStats) {
+        macro_rules! flush {
+            ($($name:ident),+) => {
+                $(RuntimeStats::add(&global.$name, self.$name.swap(0, Ordering::Relaxed));)+
+            };
+        }
+        for_each_hot_counter!(flush);
+    }
+}
 
 /// Per-thread state shared between the thread itself and the barrier
 /// coordinator.
@@ -29,8 +107,13 @@ pub struct ThreadState {
     /// such threads need not reach a safepoint for a barrier to proceed
     /// because no pins can exist "below" the external call (§4.1.3).
     pub in_external: AtomicBool,
-    /// Number of safepoint polls executed by this thread (fast + slow path).
-    pub safepoint_polls: AtomicU64,
+    /// Thread-private event counters (see [`ThreadHotStats`]).
+    pub hot: ThreadHotStats,
+    /// Free-ID magazine: handle-table IDs reserved for this thread.  Only the
+    /// owning thread pushes/pops in the common case; the mutex exists because
+    /// `ThreadState` is shared with the barrier coordinator and must stay
+    /// `Sync` without unsafe code.
+    pub magazine: Mutex<Vec<u32>>,
 }
 
 impl ThreadState {
@@ -41,7 +124,8 @@ impl ThreadState {
             pins: Mutex::new(PinSets::new()),
             parked: AtomicBool::new(false),
             in_external: AtomicBool::new(false),
-            safepoint_polls: AtomicU64::new(0),
+            hot: ThreadHotStats::default(),
+            magazine: Mutex::new(Vec::new()),
         })
     }
 
@@ -132,5 +216,23 @@ mod tests {
         let reg = ThreadRegistry::new();
         assert!(reg.is_empty());
         assert_eq!(reg.len(), 0);
+    }
+
+    #[test]
+    fn hot_stats_fold_and_flush() {
+        let t = ThreadState::new(7);
+        t.hot.translations.store(5, Ordering::Relaxed);
+        t.hot.magazine_refills.store(2, Ordering::Relaxed);
+
+        let mut snap = StatsSnapshot { translations: 10, ..Default::default() };
+        t.hot.fold_into(&mut snap);
+        assert_eq!(snap.translations, 15);
+        assert_eq!(snap.magazine_refills, 2);
+
+        let global = RuntimeStats::new();
+        RuntimeStats::bump(&global.translations);
+        t.hot.flush_into(&global);
+        assert_eq!(global.snapshot().translations, 6);
+        assert_eq!(t.hot.translations.load(Ordering::Relaxed), 0, "flush drains");
     }
 }
