@@ -16,6 +16,7 @@
 //! algorithm).
 
 use crate::subheap::SubHeap;
+use alaska_faultline as faultline;
 use alaska_heap::vmem::{VirtAddr, VirtualMemory};
 use alaska_heap::{align_up, AllocStats};
 use alaska_runtime::handle::HandleId;
@@ -76,11 +77,21 @@ pub struct AnchorageConfig {
     /// Fragmentation ratio of the active sub-heap above which a defrag pass
     /// will rotate to a fresh destination even if no other source exists.
     pub rotate_threshold: f64,
+    /// Ceiling on the total address space reserved across all sub-heaps.
+    /// When reserving one more sub-heap would exceed it, allocation fails
+    /// (`alloc` returns `None`) instead of growing, and the runtime's
+    /// pressure-recovery path (shed + defragment + retry) takes over.
+    /// `None` (the default) means unbounded.
+    pub max_heap_bytes: Option<u64>,
 }
 
 impl Default for AnchorageConfig {
     fn default() -> Self {
-        AnchorageConfig { subheap_capacity: DEFAULT_SUBHEAP_CAPACITY, rotate_threshold: 1.2 }
+        AnchorageConfig {
+            subheap_capacity: DEFAULT_SUBHEAP_CAPACITY,
+            rotate_threshold: 1.2,
+            max_heap_bytes: None,
+        }
     }
 }
 
@@ -136,6 +147,20 @@ impl AnchorageService {
         self.subheaps.iter().map(|s| s.extent()).sum()
     }
 
+    /// Total address space reserved across all sub-heaps, in bytes.
+    pub fn reserved_bytes(&self) -> u64 {
+        self.subheaps.iter().map(|s| s.capacity()).sum()
+    }
+
+    /// Whether reserving one more sub-heap of `capacity` bytes stays under
+    /// the configured [`AnchorageConfig::max_heap_bytes`] ceiling.
+    fn may_reserve(&self, capacity: u64) -> bool {
+        match self.config.max_heap_bytes {
+            Some(limit) => self.reserved_bytes().saturating_add(capacity) <= limit,
+            None => true,
+        }
+    }
+
     /// Recompute `stats.heap_extent` from scratch — used as a backstop at the
     /// end of a defragmentation pass, where many sub-heaps change at once.
     fn recompute_extent(&mut self) {
@@ -165,6 +190,9 @@ impl AnchorageService {
             return Some((idx, a));
         }
         let capacity = self.config.subheap_capacity.max(SubHeap::rounded_size(size));
+        if !self.may_reserve(capacity) {
+            return None;
+        }
         let new_idx = self.subheaps.len();
         self.subheaps.push(SubHeap::new(new_idx, &self.vm, capacity));
         self.active = new_idx;
@@ -214,6 +242,9 @@ impl AnchorageService {
             return Some(idx);
         }
         let capacity = self.config.subheap_capacity.max(rounded);
+        if !self.may_reserve(capacity) {
+            return None;
+        }
         let idx = self.subheaps.len();
         self.subheaps.push(SubHeap::new(idx, &self.vm, capacity));
         self.active = idx;
@@ -329,6 +360,30 @@ impl Service for AnchorageService {
         alaska_heap::fragmentation_ratio(self.heap_extent(), self.stats.live_bytes)
     }
 
+    fn shed_memory(&mut self) -> u64 {
+        // Non-active sub-heaps that hold no live objects still pin their
+        // touched pages; return them to the kernel and reset the bump state so
+        // the space is reusable without re-reserving.
+        let mut shed = 0u64;
+        for idx in 0..self.subheaps.len() {
+            if idx == self.active {
+                continue;
+            }
+            if self.subheaps[idx].live_objects() != 0 || self.subheaps[idx].extent() == 0 {
+                continue;
+            }
+            let base = self.subheaps[idx].base();
+            let extent = self.subheaps[idx].extent();
+            shed += self.vm.madvise_dontneed(base, extent);
+            self.subheap_op(idx, |s| s.reset());
+        }
+        self.total_released += shed;
+        if let Some(tel) = &self.telemetry {
+            tel.released.add(shed);
+        }
+        shed
+    }
+
     fn defragment(
         &mut self,
         world: &mut StoppedWorld<'_>,
@@ -345,6 +400,7 @@ impl Service for AnchorageService {
                 let active_frag = self.subheaps[self.active].fragmentation();
                 if active_frag > self.config.rotate_threshold
                     && self.subheaps[self.active].live_objects() > 0
+                    && !faultline::fire!("subheap.rotate")
                 {
                     let old_active = self.active;
                     // Rotate: find or create an empty destination.
@@ -356,8 +412,13 @@ impl Service for AnchorageService {
                         self.subheap_op(idx, |s| s.reset());
                         self.active = idx;
                     } else {
-                        let idx = self.subheaps.len();
                         let cap = self.config.subheap_capacity;
+                        if !self.may_reserve(cap) {
+                            // Under the heap ceiling there is no room for a
+                            // fresh destination; shed the pass instead.
+                            return outcome;
+                        }
+                        let idx = self.subheaps.len();
                         self.subheaps.push(SubHeap::new(idx, &self.vm, cap));
                         self.active = idx;
                         self.note_subheap_open(idx);
@@ -381,7 +442,7 @@ impl Service for AnchorageService {
         source_objects.sort_by_key(|(_, r)| std::cmp::Reverse(r.addr.0));
 
         for (id, rec) in source_objects {
-            if outcome.bytes_moved >= budget {
+            if outcome.bytes_moved >= budget || faultline::fire!("defrag.move") {
                 break;
             }
             if world.is_pinned(id) {
@@ -421,7 +482,11 @@ impl Service for AnchorageService {
             outcome.bytes_moved += rec.rounded;
         }
 
-        outcome.bytes_released = self.trim_and_release(source);
+        // A commit fault sheds the release step (the moved objects are already
+        // safely repointed; only the RSS reclaim is deferred to a later pass).
+        if !faultline::fire!("defrag.commit") {
+            outcome.bytes_released = self.trim_and_release(source);
+        }
         self.recompute_extent();
         if let Some(tel) = &self.telemetry {
             tel.released.add(outcome.bytes_released);
@@ -582,7 +647,7 @@ mod tests {
         }
         // Pin one survivor; it must not move.
         let pinned_handle = handles[1];
-        let guard = rt.pin(pinned_handle);
+        let guard = rt.pin(pinned_handle).unwrap();
         let addr_before = guard.addr();
         let outcome = rt.defragment(None);
         assert!(outcome.objects_skipped_pinned >= 1);
@@ -713,6 +778,84 @@ mod tests {
             svc.heap_extent(),
             "incrementally maintained extent must equal the resummed value"
         );
+    }
+
+    #[test]
+    fn heap_ceiling_fails_allocation_instead_of_growing() {
+        let vm = VirtualMemory::default();
+        let cfg = AnchorageConfig {
+            subheap_capacity: 4096,
+            max_heap_bytes: Some(8192),
+            ..Default::default()
+        };
+        let mut svc = AnchorageService::with_config(vm, cfg);
+        let mut ok = 0u64;
+        for i in 0..64 {
+            if svc.alloc(1024, HandleId(i)).is_some() {
+                ok += 1;
+            } else {
+                break;
+            }
+        }
+        assert_eq!(ok, 8, "two 4 KiB sub-heaps hold exactly eight 1 KiB objects");
+        assert_eq!(svc.reserved_bytes(), 8192, "growth stops at the ceiling");
+        assert!(svc.alloc(1024, HandleId(99)).is_none(), "past the ceiling allocation fails");
+    }
+
+    #[test]
+    fn shed_memory_releases_empty_inactive_subheaps() {
+        let vm = VirtualMemory::default();
+        let cfg = AnchorageConfig { subheap_capacity: 16384, ..Default::default() };
+        let mut svc = AnchorageService::with_config(vm.clone(), cfg);
+        // Fill sub-heap 0 with page-sized objects so a second sub-heap opens
+        // and becomes active, touching every page so whole resident pages are
+        // left behind for shedding.
+        for i in 0..8u32 {
+            let a = svc.alloc(4096, HandleId(i)).unwrap();
+            vm.write_u64(a, u64::from(i));
+        }
+        assert!(svc.subheap_count() >= 2);
+        // Empty sub-heap 0 in address order: the non-top blocks land in bins,
+        // so its extent stays nonzero while its live count drops to zero.
+        for i in 0..4u32 {
+            svc.free(HandleId(i), VirtAddr(0), 0);
+        }
+        let shed = svc.shed_memory();
+        assert!(shed > 0, "the emptied sub-heap's pages must be returned");
+        assert_eq!(
+            svc.heap_stats().heap_extent,
+            svc.heap_extent(),
+            "extent stat stays exact across shedding"
+        );
+        assert!(svc.total_released >= shed);
+    }
+
+    #[test]
+    fn allocation_pressure_recovers_by_shedding_and_defragmenting() {
+        let vm = VirtualMemory::default();
+        let cfg = AnchorageConfig {
+            subheap_capacity: 64 * 1024,
+            max_heap_bytes: Some(128 * 1024),
+            ..Default::default()
+        };
+        let rt = Runtime::with_vm(vm.clone(), Box::new(AnchorageService::with_config(vm, cfg)));
+        // Fill both permitted sub-heaps, then fragment them 50%.
+        let mut handles = Vec::new();
+        for _ in 0..256u64 {
+            handles.push(rt.halloc(512).unwrap());
+        }
+        for (i, h) in handles.iter().enumerate() {
+            if i % 2 == 0 {
+                rt.hfree(*h).unwrap();
+            }
+        }
+        // A 40 KiB request cannot open a third sub-heap under the ceiling, but
+        // the pressure path compacts enough to satisfy it.
+        let big = rt.halloc(40 * 1024).expect("pressure recovery must free room");
+        rt.write_u64(big, 0, 0xCAFE);
+        let snap = rt.stats();
+        assert!(snap.alloc_pressure_events >= 1, "the pressure path must have run");
+        assert!(snap.alloc_pressure_recoveries >= 1, "and must have recovered");
     }
 
     #[test]

@@ -26,7 +26,7 @@ fn bench_pin(c: &mut Criterion) {
     let h = rt.halloc(64).unwrap();
     c.bench_function("pin_unpin", |b| {
         b.iter(|| {
-            let p = rt.pin(h);
+            let p = rt.pin(h).unwrap();
             std::hint::black_box(p.addr());
         })
     });

@@ -1,0 +1,386 @@
+//! **alaska-faultline** — named failpoints for fault-injection testing.
+//!
+//! A *failpoint* is a named injection site compiled into a production code
+//! path.  When nothing is armed, hitting a site costs a single `Relaxed`
+//! atomic load and an untaken branch — cheap enough to leave in the `halloc`
+//! and barrier paths permanently.  A test (or the `ALASKA_FAILPOINTS`
+//! environment variable) can *arm* a site to inject an error return, a delay
+//! or a panic at that exact point, which is how the chaos suite exercises the
+//! runtime's failure paths deterministically.
+//!
+//! # Naming convention
+//!
+//! Sites are dot-separated, lowercase, `component.operation[.failure]`:
+//! `halloc.reserve.oom`, `magazine.refill`, `barrier.entry`, `defrag.move`,
+//! `defrag.commit`, `subheap.rotate`, `hrealloc.repoint`.  The site name is
+//! the stable public contract; renaming one is a breaking change for the
+//! chaos suite and any CI configuration that arms it.
+//!
+//! # Usage
+//!
+//! ```
+//! use alaska_faultline as faultline;
+//!
+//! fn reserve() -> Result<u32, &'static str> {
+//!     if faultline::fire!("example.reserve.oom") {
+//!         return Err("injected out-of-memory");
+//!     }
+//!     Ok(42)
+//! }
+//!
+//! assert_eq!(reserve(), Ok(42));
+//! let _guard = faultline::arm_scoped("example.reserve.oom", faultline::FaultAction::Error, Some(1));
+//! assert_eq!(reserve(), Err("injected out-of-memory"));
+//! assert_eq!(reserve(), Ok(42), "one-shot budget is spent");
+//! assert_eq!(faultline::fired("example.reserve.oom"), 1);
+//! ```
+//!
+//! # Environment configuration
+//!
+//! `ALASKA_FAILPOINTS` is parsed on first use: a `;`- or `,`-separated list
+//! of `site=action[:times]` clauses where `action` is `error`, `panic` or
+//! `delay(<millis>)` and `times` bounds how often the site fires (unlimited
+//! when omitted).  Example:
+//!
+//! ```text
+//! ALASKA_FAILPOINTS='halloc.backing.oom=error:3;barrier.entry=delay(5)'
+//! ```
+//!
+//! `fire!` returning `true` means "inject an error here" — the call site maps
+//! that to its own typed error.  `delay` sleeps and returns `false`; `panic`
+//! panics with the site name.  Injection is deliberately synchronous and
+//! deterministic: a site armed with `times = N` fires exactly the next `N`
+//! hits, across all threads, in hit order.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// What an armed failpoint injects when hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The site reports failure: [`hit`] returns `true` and the call site is
+    /// expected to return its typed error.
+    Error,
+    /// Sleep for the given duration, then continue normally (`hit` returns
+    /// `false`).  Used to manufacture stragglers and shake interleavings.
+    Delay(Duration),
+    /// Panic with the site name — for asserting that a path is *not* reached,
+    /// or that a panic in it is contained.
+    Panic,
+}
+
+#[derive(Debug)]
+struct FaultPoint {
+    action: FaultAction,
+    /// Remaining injections; `None` = unlimited.  An exhausted point stays in
+    /// the registry (so [`fired`] keeps reporting) but no longer counts as
+    /// armed.
+    remaining: Option<u64>,
+    fired: u64,
+}
+
+/// Number of currently armed (non-exhausted) failpoints.  This is the only
+/// word the fast path reads.  Starts at the [`UNINIT`] sentinel so the very
+/// first hit takes the slow path and folds in `ALASKA_FAILPOINTS` — a plain
+/// zero would let the fast path skip registry initialization forever in a
+/// process that only ever calls [`fire!`].
+static ARMED: AtomicUsize = AtomicUsize::new(UNINIT);
+
+/// Sentinel for "registry not yet initialized" (never a valid armed count).
+const UNINIT: usize = usize::MAX;
+
+fn registry() -> MutexGuard<'static, HashMap<String, FaultPoint>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, FaultPoint>>> = OnceLock::new();
+    let lock = REGISTRY.get_or_init(|| {
+        // First access anywhere: fold in the environment configuration.  The
+        // map is built before the Mutex is published, so `ARMED` is already
+        // correct by the time any other thread can observe the registry.
+        let mut map = HashMap::new();
+        if let Ok(spec) = std::env::var("ALASKA_FAILPOINTS") {
+            if let Err(e) = parse_spec_into(&spec, &mut map) {
+                eprintln!("alaska-faultline: ignoring malformed ALASKA_FAILPOINTS: {e}");
+            }
+        }
+        ARMED.store(map.values().filter(|fp| fp.remaining != Some(0)).count(), Ordering::Relaxed);
+        Mutex::new(map)
+    });
+    lock.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn parse_spec_into(spec: &str, map: &mut HashMap<String, FaultPoint>) -> Result<(), String> {
+    for clause in spec.split([';', ',']).map(str::trim).filter(|c| !c.is_empty()) {
+        let (site, rest) =
+            clause.split_once('=').ok_or_else(|| format!("missing '=' in {clause:?}"))?;
+        let (action_str, times) = match rest.rsplit_once(':') {
+            Some((a, n)) => {
+                let n: u64 = n.trim().parse().map_err(|_| format!("bad times in {clause:?}"))?;
+                (a.trim(), Some(n))
+            }
+            None => (rest.trim(), None),
+        };
+        let action = if action_str.eq_ignore_ascii_case("error") {
+            FaultAction::Error
+        } else if action_str.eq_ignore_ascii_case("panic") {
+            FaultAction::Panic
+        } else if let Some(ms) = action_str
+            .strip_prefix("delay(")
+            .and_then(|s| s.strip_suffix(')'))
+            .and_then(|s| s.trim().parse::<u64>().ok())
+        {
+            FaultAction::Delay(Duration::from_millis(ms))
+        } else {
+            return Err(format!("unknown action {action_str:?} in {clause:?}"));
+        };
+        map.insert(site.trim().to_string(), FaultPoint { action, remaining: times, fired: 0 });
+    }
+    Ok(())
+}
+
+/// Hit the failpoint `name`.  Returns `true` when an [`FaultAction::Error`]
+/// injection fired; delays sleep and return `false`; panics panic.
+///
+/// When nothing is armed anywhere this is one `Relaxed` load and an untaken
+/// branch.  Prefer the [`fire!`] macro at call sites.
+#[inline]
+pub fn hit(name: &str) -> bool {
+    if ARMED.load(Ordering::Relaxed) == 0 {
+        return false;
+    }
+    hit_slow(name)
+}
+
+#[cold]
+fn hit_slow(name: &str) -> bool {
+    let action = {
+        // Locking the registry also runs the one-time env initialization,
+        // which replaces the `UNINIT` sentinel with the real armed count.
+        let mut reg = registry();
+        let Some(fp) = reg.get_mut(name) else { return false };
+        if let Some(rem) = &mut fp.remaining {
+            if *rem == 0 {
+                return false;
+            }
+            *rem -= 1;
+            if *rem == 0 {
+                ARMED.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        fp.fired += 1;
+        fp.action
+    };
+    match action {
+        FaultAction::Error => true,
+        FaultAction::Delay(d) => {
+            std::thread::sleep(d);
+            false
+        }
+        FaultAction::Panic => panic!("failpoint '{name}' armed to panic"),
+    }
+}
+
+/// Hit the failpoint named by the argument: `faultline::fire!("site.name")`.
+///
+/// Expands to a call to [`hit`]; evaluates to `true` when an error injection
+/// fired and the enclosing function should take its failure path.
+#[macro_export]
+macro_rules! fire {
+    ($name:expr) => {
+        $crate::hit($name)
+    };
+}
+
+/// Arm failpoint `name` with `action`, firing at most `times` hits
+/// (`None` = unlimited).  Re-arming replaces the previous configuration but
+/// keeps the fired count.
+pub fn arm(name: &str, action: FaultAction, times: Option<u64>) {
+    let mut reg = registry();
+    let fired = reg.get(name).map_or(0, |fp| fp.fired);
+    let was_armed = reg.get(name).is_some_and(|fp| fp.remaining != Some(0));
+    let now_armed = times != Some(0);
+    reg.insert(name.to_string(), FaultPoint { action, remaining: times, fired });
+    match (was_armed, now_armed) {
+        (false, true) => {
+            ARMED.fetch_add(1, Ordering::Relaxed);
+        }
+        (true, false) => {
+            ARMED.fetch_sub(1, Ordering::Relaxed);
+        }
+        _ => {}
+    }
+}
+
+/// Disarm failpoint `name` (keeps its fired count).
+pub fn disarm(name: &str) {
+    let mut reg = registry();
+    if let Some(fp) = reg.get_mut(name) {
+        if fp.remaining != Some(0) {
+            ARMED.fetch_sub(1, Ordering::Relaxed);
+        }
+        fp.remaining = Some(0);
+    }
+}
+
+/// Disarm every failpoint and forget all fired counts.  Tests that share a
+/// process should call this (or use [`arm_scoped`]) so armings do not leak.
+pub fn disarm_all() {
+    let mut reg = registry();
+    let armed = reg.values().filter(|fp| fp.remaining != Some(0)).count();
+    ARMED.fetch_sub(armed, Ordering::Relaxed);
+    reg.clear();
+}
+
+/// How many times failpoint `name` has fired (injected, slept or panicked)
+/// since the last [`disarm_all`].
+pub fn fired(name: &str) -> u64 {
+    registry().get(name).map_or(0, |fp| fp.fired)
+}
+
+/// Names of all currently armed (non-exhausted) failpoints.
+pub fn armed() -> Vec<String> {
+    let reg = registry();
+    let mut names: Vec<String> = reg
+        .iter()
+        .filter(|(_, fp)| fp.remaining != Some(0))
+        .map(|(name, _)| name.clone())
+        .collect();
+    names.sort();
+    names
+}
+
+/// Arm `name` for the lifetime of the returned guard; disarmed on drop.
+pub fn arm_scoped(name: &str, action: FaultAction, times: Option<u64>) -> ArmGuard {
+    arm(name, action, times);
+    ArmGuard { name: name.to_string() }
+}
+
+/// Configure failpoints from a `site=action[:times]` list — the same syntax
+/// as the `ALASKA_FAILPOINTS` environment variable.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed clause; earlier clauses in
+/// the list may already have been armed.
+pub fn configure(spec: &str) -> Result<(), String> {
+    let mut staged = HashMap::new();
+    parse_spec_into(spec, &mut staged)?;
+    for (name, fp) in staged {
+        arm(&name, fp.action, fp.remaining);
+    }
+    Ok(())
+}
+
+/// RAII guard for a scoped arming; see [`arm_scoped`].
+#[derive(Debug)]
+pub struct ArmGuard {
+    name: String,
+}
+
+impl Drop for ArmGuard {
+    fn drop(&mut self) {
+        disarm(&self.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The registry is process-global; serialize tests that mutate it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        let guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        disarm_all();
+        guard
+    }
+
+    #[test]
+    fn unarmed_sites_never_fire() {
+        let _l = lock();
+        assert!(!fire!("nope.never.armed"));
+        assert_eq!(fired("nope.never.armed"), 0);
+    }
+
+    #[test]
+    fn armed_error_fires_until_budget_spent() {
+        let _l = lock();
+        arm("t.err", FaultAction::Error, Some(2));
+        assert!(fire!("t.err"));
+        assert!(fire!("t.err"));
+        assert!(!fire!("t.err"), "budget of 2 is spent");
+        assert_eq!(fired("t.err"), 2);
+        assert!(armed().is_empty(), "exhausted points are not armed");
+    }
+
+    #[test]
+    fn unlimited_arming_fires_forever_until_disarm() {
+        let _l = lock();
+        arm("t.unlim", FaultAction::Error, None);
+        for _ in 0..10 {
+            assert!(fire!("t.unlim"));
+        }
+        disarm("t.unlim");
+        assert!(!fire!("t.unlim"));
+        assert_eq!(fired("t.unlim"), 10, "fired count survives disarm");
+    }
+
+    #[test]
+    fn delay_sleeps_and_does_not_inject() {
+        let _l = lock();
+        arm("t.delay", FaultAction::Delay(Duration::from_millis(10)), Some(1));
+        let start = std::time::Instant::now();
+        assert!(!fire!("t.delay"), "delays do not inject errors");
+        assert!(start.elapsed() >= Duration::from_millis(8));
+        assert_eq!(fired("t.delay"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "failpoint 't.panic' armed to panic")]
+    fn panic_action_panics_with_site_name() {
+        let _l = lock();
+        arm("t.panic", FaultAction::Panic, Some(1));
+        fire!("t.panic");
+    }
+
+    #[test]
+    fn scoped_guard_disarms_on_drop() {
+        let _l = lock();
+        {
+            let _g = arm_scoped("t.scoped", FaultAction::Error, None);
+            assert!(fire!("t.scoped"));
+            assert_eq!(armed(), vec!["t.scoped".to_string()]);
+        }
+        assert!(!fire!("t.scoped"));
+        assert!(armed().is_empty());
+    }
+
+    #[test]
+    fn configure_parses_the_env_syntax() {
+        let _l = lock();
+        configure("a.b=error:1; c.d=delay(3) ; e.f=panic:0").unwrap();
+        assert!(fire!("a.b"));
+        assert!(!fire!("a.b"));
+        assert!(!fire!("c.d"), "delay clause injects no error");
+        assert!(!fire!("e.f"), ":0 arms a dead point");
+        assert!(configure("junk").is_err());
+        assert!(configure("a=warp(3)").is_err());
+        assert!(configure("a=error:x").is_err());
+    }
+
+    #[test]
+    fn rearming_replaces_action_but_keeps_fired_count() {
+        let _l = lock();
+        arm("t.rearm", FaultAction::Error, Some(1));
+        assert!(fire!("t.rearm"));
+        arm("t.rearm", FaultAction::Error, Some(1));
+        assert!(fire!("t.rearm"));
+        assert_eq!(fired("t.rearm"), 2);
+        assert!(!fire!("t.rearm"));
+    }
+}

@@ -1,0 +1,20 @@
+//! Regression test for the `ALASKA_FAILPOINTS` path: in a process that only
+//! ever calls `fire!`, the armed-count fast path must still trigger the
+//! one-time registry initialization that folds in the environment spec.
+//!
+//! This lives in its own integration-test binary (a fresh process) so the
+//! variable is set before anything touches the faultline registry.  Exactly
+//! one `#[test]` — a second one could race the first hit.
+
+use alaska_faultline as faultline;
+
+#[test]
+fn env_spec_arms_failpoints_before_first_hit() {
+    std::env::set_var("ALASKA_FAILPOINTS", "env.site=error:2; env.delay=delay(1)");
+    assert!(faultline::fire!("env.site"), "env-armed site must fire");
+    assert!(faultline::fire!("env.site"));
+    assert!(!faultline::fire!("env.site"), "budget of 2 is spent");
+    assert!(!faultline::fire!("env.delay"), "delay clauses never inject errors");
+    assert_eq!(faultline::fired("env.delay"), 1);
+    assert_eq!(faultline::fired("env.site"), 2);
+}

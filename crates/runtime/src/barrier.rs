@@ -21,6 +21,18 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Result of a [`BarrierController::stop_the_world`] attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct StopOutcome {
+    /// Time spent waiting for threads to stop.
+    pub waited: Duration,
+    /// Threads that had not parked (and were not in external code) when the
+    /// watchdog deadline expired.  Zero means the world genuinely stopped;
+    /// non-zero lets the initiator abort and retry instead of moving objects
+    /// under a possibly-running thread.
+    pub stragglers: usize,
+}
+
 /// Coordinates stop-the-world pauses between one initiator and any number of
 /// worker threads.
 #[derive(Debug)]
@@ -33,9 +45,11 @@ pub struct BarrierController {
     generation: AtomicU64,
     mutex: Mutex<()>,
     condvar: Condvar,
-    /// Longest time an initiator will wait for stragglers before proceeding
-    /// anyway (they are then treated like external threads; see module docs).
-    straggler_timeout: Duration,
+    /// Watchdog deadline in nanoseconds: the longest an initiator waits for
+    /// stragglers before the attempt reports them (and the caller decides to
+    /// abort or proceed).  Atomic so tests and embedders can tighten it at
+    /// runtime.
+    straggler_timeout_ns: AtomicU64,
 }
 
 impl Default for BarrierController {
@@ -52,8 +66,20 @@ impl BarrierController {
             generation: AtomicU64::new(0),
             mutex: Mutex::new(()),
             condvar: Condvar::new(),
-            straggler_timeout: Duration::from_millis(100),
+            straggler_timeout_ns: AtomicU64::new(Duration::from_millis(100).as_nanos() as u64),
         }
+    }
+
+    /// The current watchdog deadline for straggler threads.
+    pub fn straggler_timeout(&self) -> Duration {
+        Duration::from_nanos(self.straggler_timeout_ns.load(Ordering::Relaxed))
+    }
+
+    /// Change the watchdog deadline (clamped to at least 1 ms so a pause can
+    /// never spin on an instantly-expired deadline).
+    pub fn set_straggler_timeout(&self, timeout: Duration) {
+        let ns = timeout.max(Duration::from_millis(1)).as_nanos() as u64;
+        self.straggler_timeout_ns.store(ns, Ordering::Relaxed);
     }
 
     /// Whether a barrier is currently requested (the safepoint fast-path load).
@@ -87,29 +113,27 @@ impl BarrierController {
     /// Initiate a stop-the-world pause.
     ///
     /// `others` are all registered threads except the initiator.  The call
-    /// returns once every other thread is parked or in external code (or the
-    /// straggler timeout elapsed); the world is then considered stopped and the
-    /// caller may inspect pin sets and move objects.  [`BarrierController::resume`]
-    /// must be called to release the world.
-    ///
-    /// Returns the time spent waiting for threads to stop.
-    pub fn stop_the_world(&self, others: &[Arc<ThreadState>]) -> Duration {
+    /// returns once every other thread is parked or in external code, or the
+    /// watchdog deadline elapsed; [`StopOutcome::stragglers`] reports how many
+    /// threads were still running in the latter case, so the caller can abort
+    /// the pause (via [`BarrierController::resume`]) and retry rather than
+    /// move objects under them.  [`BarrierController::resume`] must be called
+    /// to release the world either way.
+    pub fn stop_the_world(&self, others: &[Arc<ThreadState>]) -> StopOutcome {
         let start = Instant::now();
         self.requested.store(true, Ordering::Release);
         let mut guard = self.mutex.lock();
-        let deadline = Instant::now() + self.straggler_timeout;
+        let deadline = Instant::now() + self.straggler_timeout();
         loop {
-            let all_stopped = others.iter().all(|t| t.is_stoppable());
-            if all_stopped {
-                break;
+            let stragglers = others.iter().filter(|t| !t.is_stoppable()).count();
+            if stragglers == 0 {
+                return StopOutcome { waited: start.elapsed(), stragglers: 0 };
             }
             if self.condvar.wait_until(&mut guard, deadline).timed_out() {
-                // Stragglers are treated as external: they hold no translation
-                // below their current operation boundary (see module docs).
-                break;
+                let stragglers = others.iter().filter(|t| !t.is_stoppable()).count();
+                return StopOutcome { waited: start.elapsed(), stragglers };
             }
         }
-        start.elapsed()
     }
 
     /// Release a stopped world: clear the request flag and wake all parked
@@ -130,12 +154,13 @@ mod tests {
     #[test]
     fn single_threaded_barrier_completes_immediately() {
         let b = BarrierController::new();
-        let waited = b.stop_the_world(&[]);
+        let out = b.stop_the_world(&[]);
         assert!(b.is_requested());
         b.resume();
         assert!(!b.is_requested());
         assert_eq!(b.generation(), 1);
-        assert!(waited < Duration::from_millis(50));
+        assert!(out.waited < Duration::from_millis(50));
+        assert_eq!(out.stragglers, 0);
     }
 
     #[test]
@@ -178,19 +203,50 @@ mod tests {
         let b = BarrierController::new();
         let t = ThreadState::new(2);
         t.in_external.store(true, Ordering::Release);
-        let waited = b.stop_the_world(&[t]);
-        assert!(waited < Duration::from_millis(50), "external thread must not delay the pause");
+        let out = b.stop_the_world(&[t]);
+        assert!(out.waited < Duration::from_millis(50), "external thread must not delay the pause");
+        assert_eq!(out.stragglers, 0, "external threads are not stragglers");
         b.resume();
     }
 
     #[test]
-    fn straggler_timeout_bounds_the_wait() {
+    fn straggler_timeout_bounds_the_wait_and_reports_the_straggler() {
         let b = BarrierController::new();
+        b.set_straggler_timeout(Duration::from_millis(40));
         // A registered thread that never polls.
         let t = ThreadState::new(3);
-        let waited = b.stop_the_world(&[t]);
-        assert!(waited >= Duration::from_millis(90), "should wait for the straggler timeout");
+        let out = b.stop_the_world(&[t]);
+        assert!(out.waited >= Duration::from_millis(30), "should wait for the watchdog deadline");
+        assert_eq!(out.stragglers, 1, "the stuck thread is reported");
         b.resume();
+    }
+
+    #[test]
+    fn straggler_timeout_is_configurable_with_a_floor() {
+        let b = BarrierController::new();
+        assert_eq!(b.straggler_timeout(), Duration::from_millis(100));
+        b.set_straggler_timeout(Duration::ZERO);
+        assert_eq!(b.straggler_timeout(), Duration::from_millis(1), "floor of 1 ms");
+        b.set_straggler_timeout(Duration::from_secs(2));
+        assert_eq!(b.straggler_timeout(), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn aborted_pause_can_be_retried() {
+        let b = Arc::new(BarrierController::new());
+        b.set_straggler_timeout(Duration::from_millis(20));
+        let straggler = ThreadState::new(5);
+        let out = b.stop_the_world(std::slice::from_ref(&straggler));
+        assert_eq!(out.stragglers, 1);
+        // Abort: release the world without touching anything.
+        b.resume();
+        assert!(!b.is_requested());
+        // The straggler finally reaches a safepoint; the retry succeeds.
+        straggler.parked.store(true, Ordering::Release);
+        let out = b.stop_the_world(std::slice::from_ref(&straggler));
+        assert_eq!(out.stragglers, 0);
+        b.resume();
+        assert_eq!(b.generation(), 2);
     }
 
     #[test]

@@ -29,6 +29,26 @@ pub enum AlaskaError {
     ThreadNotRegistered,
     /// A barrier was requested from inside another barrier.
     NestedBarrier,
+    /// A handle was freed twice: the second free found the entry poisoned.
+    DoubleFree {
+        /// The raw 64-bit handle value freed twice.
+        value: u64,
+    },
+    /// A freed handle was translated before its ID was reused: the entry was
+    /// still in the poisoned quarantine state.
+    UseAfterFree {
+        /// The raw 64-bit handle value used after free.
+        value: u64,
+    },
+    /// A pin-slot operation ran without an active pin frame (compiler API
+    /// misuse).
+    NoActivePinFrame,
+    /// A handle-table invariant check failed (see
+    /// `HandleTable::verify_invariants`).
+    InvariantViolation {
+        /// Description of the first violated invariant.
+        detail: String,
+    },
 }
 
 impl fmt::Display for AlaskaError {
@@ -48,6 +68,18 @@ impl fmt::Display for AlaskaError {
                 write!(f, "calling thread is not registered with the runtime")
             }
             AlaskaError::NestedBarrier => write!(f, "barrier requested while one is in progress"),
+            AlaskaError::DoubleFree { value } => {
+                write!(f, "double free of handle {value:#x}")
+            }
+            AlaskaError::UseAfterFree { value } => {
+                write!(f, "use of handle {value:#x} after it was freed")
+            }
+            AlaskaError::NoActivePinFrame => {
+                write!(f, "pin-slot operation without an active pin frame")
+            }
+            AlaskaError::InvariantViolation { detail } => {
+                write!(f, "handle-table invariant violated: {detail}")
+            }
         }
     }
 }
@@ -70,6 +102,10 @@ mod tests {
             AlaskaError::InvalidHandle { value: 3 }.to_string(),
             AlaskaError::ThreadNotRegistered.to_string(),
             AlaskaError::NestedBarrier.to_string(),
+            AlaskaError::DoubleFree { value: 4 }.to_string(),
+            AlaskaError::UseAfterFree { value: 5 }.to_string(),
+            AlaskaError::NoActivePinFrame.to_string(),
+            AlaskaError::InvariantViolation { detail: "bump cursor".into() }.to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

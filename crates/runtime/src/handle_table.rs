@@ -57,6 +57,64 @@
 //! with freed entries pushed on a free list that is consulted first (LIFO
 //! reuse).  Each entry costs 16 bytes of metadata, in the same ballpark as
 //! the "about eight bytes of overhead per object" figure.
+//!
+//! # Failure model
+//!
+//! The table is the last line of defence against application memory bugs, so
+//! its failure paths are typed, not panicking:
+//!
+//! ## Poison state machine
+//!
+//! Freeing an entry does not return it to `Free` directly; it moves through a
+//! **`Poisoned`** quarantine state first:
+//!
+//! ```text
+//!            publish                    release_reserved
+//!   Free ──────────────▶ Live ◀──────▶ Invalid ─────┐
+//!    ▲                     │   set_state/recover    │
+//!    │ (reserve: bump or   │ release_reserved       │
+//!    │  free-list pop —    ▼                        ▼
+//!    │  state unchanged) Poisoned ◀─────────────────┘
+//!    └─────────────────────┘ publish (ID reuse un-poisons)
+//! ```
+//!
+//! * `release_reserved` CASes `Live`/`Invalid` → `Poisoned` (backing wiped to
+//!   NULL).  Exactly one of two racing frees wins the CAS; the loser observes
+//!   `Poisoned` and gets a [`FreeFault::DoubleFree`] verdict, or
+//!   [`FreeFault::Dangling`] when the entry was never occupied at all.
+//! * A poisoned entry stays poisoned while its ID sits in a magazine or shard
+//!   free list, so a **use-after-free** translate attempt in that window is
+//!   detected: [`HandleTable::load`] reports the `Poisoned` state (the runtime
+//!   maps it to a typed error + telemetry counter) and
+//!   [`HandleTable::translate`] / [`HandleTable::get`] return `None`.
+//! * Re-publishing the ID (LIFO reuse) transitions `Poisoned` → `Live`, which
+//!   closes the detection window — the classic ABA limit of any
+//!   quarantine-by-state scheme; the LIFO free lists keep the window short
+//!   only under allocation pressure, long when the heap is quiet.
+//! * All other mutators (`set_backing`, `set_state`, `update`,
+//!   `fault_recover`) treat `Poisoned` exactly like `Free`: the entry is not
+//!   occupied, so they refuse.
+//!
+//! ## Barrier abort protocol
+//!
+//! A stop-the-world pause acquires every shard lock **in index order** after
+//! the cooperative barrier reports all threads stopped.  When a straggler
+//! never reaches a safepoint before the watchdog deadline, the initiator
+//! *aborts*: shard locks are released in reverse order (plain RAII drop of
+//! [`AllShardsGuard`]), threads are resumed, a `barrier_aborts` counter and
+//! trace event fire, and the pause is retried with exponential backoff.  No
+//! entry word is mutated before the barrier commits, so an aborted pause is
+//! invisible to the application.
+//!
+//! ## Failpoint naming
+//!
+//! Fault-injection sites (crate `alaska-faultline`) are dot-separated
+//! `component.operation[.failure]` names: `halloc.reserve.oom`,
+//! `halloc.backing.oom`, `halloc.publish`, `magazine.refill`,
+//! `hrealloc.repoint`, `barrier.entry`, `defrag.move`, `defrag.commit`,
+//! `subheap.rotate`.  Unarmed sites cost one relaxed load; the chaos suite
+//! (`tests/chaos.rs`) arms them and asserts
+//! [`HandleTable::verify_invariants`] after every injected fault.
 
 use crate::handle::{Handle, HandleId, MAX_ID};
 use alaska_heap::vmem::VirtAddr;
@@ -64,9 +122,27 @@ use parking_lot::{Mutex, MutexGuard};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::OnceLock;
 
-/// Number of ID-striped shards. Power of two; 16 comfortably exceeds the
-/// hardware parallelism the figure harnesses sweep (1→16 threads).
+/// Default number of ID-striped shards. Power of two; 16 comfortably exceeds
+/// the hardware parallelism the figure harnesses sweep (1→16 threads).
+/// Full-capacity tables ([`HandleTable::new`]) size their shard count from
+/// [`std::thread::available_parallelism`] instead — see
+/// [`auto_shard_count`].
 pub const SHARD_COUNT: usize = 16;
+
+/// Upper bound for [`auto_shard_count`]: beyond this, shard locks are no
+/// longer the bottleneck and the ID space fragments for no benefit.
+const MAX_SHARD_COUNT: usize = 256;
+
+/// Shard count derived from the machine: `available_parallelism`, rounded up
+/// to a power of two, clamped to `[SHARD_COUNT, 256]`.  Falls back to
+/// [`SHARD_COUNT`] when parallelism cannot be queried.
+pub fn auto_shard_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(SHARD_COUNT)
+        .next_power_of_two()
+        .clamp(SHARD_COUNT, MAX_SHARD_COUNT)
+}
 
 /// Entries per segment (the unit of lazy storage commitment).
 const SEG_BITS: u32 = 12;
@@ -86,6 +162,7 @@ const STATE_SHIFT: u32 = ADDR_BITS;
 const STATE_FREE: u64 = 0;
 const STATE_LIVE: u64 = 1;
 const STATE_INVALID: u64 = 2;
+const STATE_POISONED: u64 = 3;
 
 /// State of a handle-table entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,10 +175,25 @@ pub enum HteState {
     /// moved or swapped out).  Translation must take the handle-fault path
     /// (§7 "handle faults").
     Invalid,
+    /// The entry's object has been freed and the ID has not been reused yet.
+    /// Translate attempts in this window are use-after-free; a second free is
+    /// a double free.  See the poison state machine in the
+    /// [module documentation](self).
+    Poisoned,
+}
+
+/// The table's verdict on a failed free — see the poison state machine in the
+/// [module documentation](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreeFault {
+    /// The entry was poisoned: this handle was already freed.
+    DoubleFree,
+    /// The entry was never occupied (free or out of range): a wild value.
+    Dangling,
 }
 
 /// A decoded handle-table entry (a plain-data copy of the atomic fields).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Hte {
     /// Current address of the backing memory (undefined when `Free`).
     pub backing: VirtAddr,
@@ -138,7 +230,8 @@ fn decode_state(raw: u64) -> HteState {
     match raw {
         STATE_FREE => HteState::Free,
         STATE_LIVE => HteState::Live,
-        _ => HteState::Invalid,
+        STATE_INVALID => HteState::Invalid,
+        _ => HteState::Poisoned,
     }
 }
 
@@ -148,7 +241,16 @@ fn encode_state(state: HteState) -> u64 {
         HteState::Free => STATE_FREE,
         HteState::Live => STATE_LIVE,
         HteState::Invalid => STATE_INVALID,
+        HteState::Poisoned => STATE_POISONED,
     }
+}
+
+/// Whether a packed word maps a live object (`Live` or `Invalid`).  `Free`
+/// and `Poisoned` entries are unoccupied: mutators refuse them and lookups
+/// treat them as dangling.
+#[inline]
+fn word_occupied(word: u64) -> bool {
+    matches!(word_state(word), STATE_LIVE | STATE_INVALID)
 }
 
 /// One table entry: the packed `(addr, state)` word plus the object size.
@@ -234,26 +336,37 @@ pub struct AllShardsGuard<'a> {
 }
 
 impl HandleTable {
-    /// Create a table with the architectural capacity of 2^31 entries.
+    /// Create a table with the architectural capacity of 2^31 entries, with
+    /// the shard count sized from the machine's parallelism (see
+    /// [`auto_shard_count`]).
     ///
     /// Storage commits on demand, segment by segment (the real system `mmap`s
     /// the whole table virtually and relies on demand paging; publishing
     /// fixed-size segments through `OnceLock` is the analogous lazy
     /// commitment, and it never relocates entries under concurrent readers).
     pub fn new() -> Self {
-        Self::with_capacity(MAX_ID)
+        Self::with_shards(auto_shard_count(), MAX_ID)
     }
 
     /// Create a table that refuses to grow beyond `capacity` entries — useful
-    /// for exercising the table-full path in tests.
+    /// for exercising the table-full path in tests.  Uses the fixed default
+    /// of [`SHARD_COUNT`] shards so ID layout is deterministic across
+    /// machines.
     pub fn with_capacity(capacity: u32) -> Self {
+        Self::with_shards(SHARD_COUNT, capacity)
+    }
+
+    /// Create a table with an explicit shard count (rounded up to a power of
+    /// two) and capacity.
+    pub fn with_shards(shard_count: usize, capacity: u32) -> Self {
+        let shard_count = shard_count.max(1).next_power_of_two();
         let capacity = capacity.min(MAX_ID);
         let stride =
-            u32::try_from((u64::from(capacity).div_ceil(SHARD_COUNT as u64)).next_power_of_two())
+            u32::try_from((u64::from(capacity).div_ceil(shard_count as u64)).next_power_of_two())
                 .expect("per-shard stride fits u32")
                 .max(1);
         let stride_bits = stride.trailing_zeros();
-        let shards = (0..SHARD_COUNT as u32)
+        let shards = (0..shard_count as u32)
             .map(|s| {
                 let nslabs = stride.div_ceil(SLAB_SPAN) as usize;
                 Shard {
@@ -411,13 +524,13 @@ impl HandleTable {
     /// Make a reserved ID live, mapping it to `backing` with `size` bytes.
     /// The entry becomes visible to concurrent translations atomically, with
     /// its backing already set — there is no window where it is live with a
-    /// NULL backing.
+    /// NULL backing.  Reuse of a freed ID transitions `Poisoned` → `Live`
+    /// here, closing that ID's use-after-free detection window.
     pub fn publish(&self, id: HandleId, backing: VirtAddr, size: u32) {
         let e = self.entry(id.0).expect("publish of an unreserved id");
-        debug_assert_eq!(
-            word_state(e.word.load(Ordering::Relaxed)),
-            STATE_FREE,
-            "publish of a non-free HTE"
+        debug_assert!(
+            matches!(word_state(e.word.load(Ordering::Relaxed)), STATE_FREE | STATE_POISONED),
+            "publish of an occupied HTE"
         );
         e.size.store(size, Ordering::Relaxed);
         e.word.store(pack(backing, STATE_LIVE), Ordering::Release);
@@ -454,22 +567,30 @@ impl HandleTable {
         Some(id)
     }
 
-    /// Atomically claim a live (or invalid) entry back to `Free`, returning
-    /// its last contents.  The ID stays with the caller (it is *not* pushed on
-    /// a free list) — the runtime parks it in a per-thread magazine.  Returns
-    /// `None` if the entry was already free: exactly one of two racing frees
-    /// wins, which is what makes double-free detection exact.
-    pub fn release_reserved(&self, id: HandleId) -> Option<Hte> {
-        let e = self.entry(id.0)?;
+    /// Atomically claim a live (or invalid) entry into the `Poisoned`
+    /// quarantine state, returning its last contents.  The ID stays with the
+    /// caller (it is *not* pushed on a free list) — the runtime parks it in a
+    /// per-thread magazine.  Exactly one of two racing frees wins the CAS;
+    /// the loser gets a typed [`FreeFault`] verdict: `DoubleFree` when the
+    /// entry is poisoned (freed before, not yet reused), `Dangling` when it
+    /// was never occupied.
+    pub fn release_reserved(&self, id: HandleId) -> Result<Hte, FreeFault> {
+        let e = self.entry(id.0).ok_or(FreeFault::Dangling)?;
         let old = e
             .word
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |w| {
-                (word_state(w) != STATE_FREE).then_some(pack(VirtAddr::NULL, STATE_FREE))
+                word_occupied(w).then_some(pack(VirtAddr::NULL, STATE_POISONED))
             })
-            .ok()?;
+            .map_err(|w| {
+                if word_state(w) == STATE_POISONED {
+                    FreeFault::DoubleFree
+                } else {
+                    FreeFault::Dangling
+                }
+            })?;
         let size = e.size.load(Ordering::Relaxed);
         self.live.fetch_sub(1, Ordering::Relaxed);
-        Some(Hte { backing: word_addr(old), size, state: decode_state(word_state(old)) })
+        Ok(Hte { backing: word_addr(old), size, state: decode_state(word_state(old)) })
     }
 
     /// Release the entry for `id`, putting it on its shard's free list for
@@ -477,9 +598,9 @@ impl HandleTable {
     ///
     /// # Panics
     ///
-    /// Panics if the entry is not live (double free through the table).
+    /// Panics if the entry is not live (double release through the table).
     pub fn release(&self, id: HandleId) -> Hte {
-        let old = self.release_reserved(id).unwrap_or_else(|| panic!("double release of {id}"));
+        let old = self.release_reserved(id).unwrap_or_else(|_| panic!("double release of {id}"));
         self.restock_ids(&[id.0]);
         old
     }
@@ -489,10 +610,11 @@ impl HandleTable {
     // ------------------------------------------------------------------
 
     /// Look up a live (or invalid) entry, returning a plain-data copy.
+    /// `Free` and `Poisoned` entries are dangling and return `None`.
     pub fn get(&self, id: HandleId) -> Option<Hte> {
         let e = self.entry(id.0)?;
         let word = e.word.load(Ordering::Acquire);
-        if word_state(word) == STATE_FREE {
+        if !word_occupied(word) {
             return None;
         }
         Some(Hte {
@@ -509,7 +631,10 @@ impl HandleTable {
 
     /// The translation fast path: one `Relaxed` load of the packed word.
     /// Returns the backing address and state, or `None` for a free (dangling)
-    /// entry.  See the module docs for why `Relaxed` is sound here.
+    /// entry.  `Poisoned` entries *are* returned (with a NULL backing) so the
+    /// runtime can report a typed use-after-free instead of a generic
+    /// dangling-handle error.  See the module docs for why `Relaxed` is sound
+    /// here.
     #[inline]
     pub fn load(&self, id: HandleId) -> Option<(VirtAddr, HteState)> {
         let e = self.entry(id.0)?;
@@ -532,7 +657,7 @@ impl HandleTable {
         let e = self.entry(id.0).unwrap_or_else(|| panic!("set_backing on free entry {id}"));
         e.word
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |w| {
-                (word_state(w) != STATE_FREE).then_some(pack(backing, word_state(w)))
+                word_occupied(w).then_some(pack(backing, word_state(w)))
             })
             .unwrap_or_else(|_| panic!("set_backing on free entry {id}"));
     }
@@ -543,18 +668,21 @@ impl HandleTable {
     ///
     /// Panics if the entry is free.
     pub fn set_state(&self, id: HandleId, state: HteState) {
-        assert_ne!(state, HteState::Free, "use release() to free entries");
+        assert!(
+            matches!(state, HteState::Live | HteState::Invalid),
+            "use release() to free entries"
+        );
         assert!(self.try_set_state(id, state), "set_state on free entry {id}");
     }
 
     /// Like [`HandleTable::set_state`] but returns `false` instead of
     /// panicking when the entry is free.
     pub fn try_set_state(&self, id: HandleId, state: HteState) -> bool {
-        debug_assert_ne!(state, HteState::Free);
+        debug_assert!(matches!(state, HteState::Live | HteState::Invalid));
         let Some(e) = self.entry(id.0) else { return false };
         e.word
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |w| {
-                (word_state(w) != STATE_FREE).then_some(pack(word_addr(w), encode_state(state)))
+                word_occupied(w).then_some(pack(word_addr(w), encode_state(state)))
             })
             .is_ok()
     }
@@ -583,20 +711,22 @@ impl HandleTable {
         e.size.store(size, Ordering::Relaxed);
         e.word
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |w| {
-                (word_state(w) != STATE_FREE).then_some(pack(backing, STATE_LIVE))
+                word_occupied(w).then_some(pack(backing, STATE_LIVE))
             })
             .unwrap_or_else(|_| panic!("update of free entry {id}"));
     }
 
     /// Translate a decoded handle to the address of the referenced byte.
     ///
-    /// Returns `None` if the entry is free (dangling handle) — the caller
-    /// decides whether that is a panic or an error.  Invalid entries still
-    /// translate (their backing address is the stale location); callers that
-    /// enable handle faults must check the state first (via
+    /// Returns `None` if the entry is free or poisoned (dangling handle) —
+    /// the caller decides whether that is a panic or an error.  Invalid
+    /// entries still translate (their backing address is the stale location);
+    /// callers that enable handle faults must check the state first (via
     /// [`HandleTable::load`]).
     pub fn translate(&self, handle: Handle) -> Option<VirtAddr> {
-        self.load(handle.id()).map(|(addr, _)| addr.add(handle.offset() as u64))
+        self.load(handle.id())
+            .filter(|(_, state)| *state != HteState::Poisoned)
+            .map(|(addr, _)| addr.add(handle.offset() as u64))
     }
 
     // ------------------------------------------------------------------
@@ -617,7 +747,7 @@ impl HandleTable {
             .filter_map(|local| {
                 let id = shard.base + local;
                 let e = self.entry(id)?;
-                (word_state(e.word.load(Ordering::Relaxed)) != STATE_FREE).then_some(HandleId(id))
+                word_occupied(e.word.load(Ordering::Relaxed)).then_some(HandleId(id))
             })
             .collect()
     }
@@ -640,6 +770,89 @@ impl HandleTable {
     /// backings while stragglers translate.)
     pub fn lock_all(&self) -> AllShardsGuard<'_> {
         AllShardsGuard { _guards: self.shards.iter().map(|s| s.inner.lock()).collect() }
+    }
+
+    /// Walk the whole table and check its structural invariants, returning a
+    /// description of the first violation found.  The chaos suite runs this
+    /// after every injected fault.
+    ///
+    /// Checked per shard (with every shard lock held, acquired in index
+    /// order):
+    ///
+    /// * the bump cursor never exceeds the shard stride, and the lock-free
+    ///   `bump_hwm` mirror matches it exactly;
+    /// * every free-list ID is owned by the shard, below the bump cursor,
+    ///   not duplicated, and its entry is `Free` or `Poisoned` — never
+    ///   `Live`/`Invalid` (that would be an entry simultaneously allocatable
+    ///   and occupied);
+    /// * bumped entries have committed storage.
+    ///
+    /// Globally: occupied (`Live`/`Invalid`) entries must equal the `live`
+    /// counter and the summed bump cursors must equal `touched`.  Those two
+    /// checks require quiescence — no concurrent `publish`/`release` (e.g.
+    /// mutator threads parked, or the caller owns all outstanding handles);
+    /// the per-shard checks are valid under any concurrency.
+    pub fn verify_invariants(&self) -> Result<(), String> {
+        let _all = self.lock_all();
+        let mut occupied_total = 0u64;
+        let mut bump_total = 0u64;
+        for (s, shard) in self.shards.iter().enumerate() {
+            // Read shard state through the guards already held by `_all`
+            // (re-locking here would deadlock).
+            let inner = &_all._guards[s];
+            if inner.bump > self.stride {
+                return Err(format!(
+                    "shard {s}: bump {} exceeds stride {}",
+                    inner.bump, self.stride
+                ));
+            }
+            let hwm = shard.bump_hwm.load(Ordering::Acquire);
+            if hwm != inner.bump {
+                return Err(format!("shard {s}: bump_hwm {hwm} != bump {}", inner.bump));
+            }
+            bump_total += u64::from(inner.bump);
+            let mut seen = std::collections::HashSet::with_capacity(inner.free.len());
+            for &id in &inner.free {
+                if (id >> self.stride_bits) as usize != s {
+                    return Err(format!("shard {s}: free-list id {id} owned by another shard"));
+                }
+                if id - shard.base >= inner.bump {
+                    return Err(format!("shard {s}: free-list id {id} beyond bump cursor"));
+                }
+                if !seen.insert(id) {
+                    return Err(format!("shard {s}: free-list id {id} duplicated"));
+                }
+                let Some(e) = self.entry(id) else {
+                    return Err(format!("shard {s}: free-list id {id} has no storage"));
+                };
+                let state = word_state(e.word.load(Ordering::Acquire));
+                if !matches!(state, STATE_FREE | STATE_POISONED) {
+                    return Err(format!(
+                        "shard {s}: free-list id {id} is occupied (state {state})"
+                    ));
+                }
+            }
+            for local in 0..inner.bump {
+                let id = shard.base + local;
+                let Some(e) = self.entry(id) else {
+                    return Err(format!("shard {s}: bumped id {id} has no committed storage"));
+                };
+                if word_occupied(e.word.load(Ordering::Acquire)) {
+                    occupied_total += 1;
+                }
+            }
+        }
+        let live = self.live.load(Ordering::Acquire);
+        if occupied_total != live {
+            return Err(format!(
+                "occupied entries {occupied_total} != live counter {live} (is the table quiescent?)"
+            ));
+        }
+        let touched = self.touched.load(Ordering::Acquire);
+        if bump_total != touched {
+            return Err(format!("summed bump cursors {bump_total} != touched counter {touched}"));
+        }
+        Ok(())
     }
 }
 
@@ -758,8 +971,95 @@ mod tests {
     fn release_reserved_detects_double_free_without_panicking() {
         let t = table();
         let id = t.allocate(VirtAddr(0x2000), 8).unwrap();
-        assert!(t.release_reserved(id).is_some());
-        assert!(t.release_reserved(id).is_none(), "loser of the race sees None");
+        assert!(t.release_reserved(id).is_ok());
+        assert_eq!(
+            t.release_reserved(id),
+            Err(FreeFault::DoubleFree),
+            "loser of the race gets the double-free verdict"
+        );
+    }
+
+    #[test]
+    fn release_of_never_allocated_id_is_dangling() {
+        let t = table();
+        t.allocate(VirtAddr(0x1000), 8).unwrap();
+        assert_eq!(t.release_reserved(HandleId(MAX_ID - 1)), Err(FreeFault::Dangling));
+        // Bumped but reserved-not-published entries are Free, also dangling.
+        let mut mag = Vec::new();
+        t.reserve_ids(0, 2, &mut mag);
+        assert_eq!(t.release_reserved(HandleId(mag[1])), Err(FreeFault::Dangling));
+    }
+
+    #[test]
+    fn freed_entries_are_poisoned_until_reuse() {
+        let t = table();
+        let id = t.allocate(VirtAddr(0x3000), 8).unwrap();
+        t.release(id);
+        // Poisoned: load reports the state, get/translate treat it as dangling.
+        assert_eq!(t.load(id), Some((VirtAddr::NULL, HteState::Poisoned)));
+        assert!(t.get(id).is_none());
+        assert_eq!(t.translate(Handle::new(id)), None);
+        assert_eq!(t.live_ids().len(), 0);
+        // Reuse un-poisons: the LIFO free list hands the same ID back.
+        let again = t.allocate(VirtAddr(0x4000), 8).unwrap();
+        assert_eq!(again, id);
+        assert_eq!(t.get(id).unwrap().state, HteState::Live);
+    }
+
+    #[test]
+    fn poisoned_entries_refuse_mutation() {
+        let t = table();
+        let id = t.allocate(VirtAddr(0x5000), 8).unwrap();
+        t.release(id);
+        assert!(!t.try_set_state(id, HteState::Invalid), "poisoned is not occupied");
+        assert!(!t.fault_recover(id));
+    }
+
+    #[test]
+    fn invalid_entries_poison_on_release_too() {
+        let t = table();
+        let id = t.allocate(VirtAddr(0x6000), 8).unwrap();
+        t.set_state(id, HteState::Invalid);
+        let old = t.release_reserved(id).unwrap();
+        assert_eq!(old.state, HteState::Invalid);
+        assert_eq!(t.load(id).unwrap().1, HteState::Poisoned);
+    }
+
+    #[test]
+    fn auto_shard_count_is_power_of_two_in_range() {
+        let n = auto_shard_count();
+        assert!(n.is_power_of_two());
+        assert!((SHARD_COUNT..=256).contains(&n));
+        let t = HandleTable::new();
+        assert_eq!(t.shard_count(), n);
+    }
+
+    #[test]
+    fn explicit_shard_counts_round_up_and_stripe() {
+        let t = HandleTable::with_shards(64, 1 << 20);
+        assert_eq!(t.shard_count(), 64);
+        let a = t.allocate_with_hint(VirtAddr(0x1), 1, 0).unwrap();
+        let b = t.allocate_with_hint(VirtAddr(0x2), 1, 63).unwrap();
+        assert_ne!(a.0 >> 14, b.0 >> 14, "stride 2^14: hints land on distinct shards");
+        let t3 = HandleTable::with_shards(3, 1 << 10);
+        assert_eq!(t3.shard_count(), 4, "non-power-of-two counts round up");
+    }
+
+    #[test]
+    fn verify_invariants_holds_through_churn() {
+        let t = table();
+        t.verify_invariants().unwrap();
+        let ids: Vec<_> = (0..64).map(|i| t.allocate(VirtAddr(0x1000 + i), 8).unwrap()).collect();
+        t.verify_invariants().unwrap();
+        for id in &ids[..32] {
+            t.release(*id);
+        }
+        t.verify_invariants().unwrap();
+        let mut mag = Vec::new();
+        t.reserve_ids(0, 8, &mut mag);
+        t.verify_invariants().unwrap();
+        t.restock_ids(&mag);
+        t.verify_invariants().unwrap();
     }
 
     #[test]

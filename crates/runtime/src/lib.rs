@@ -42,7 +42,7 @@
 //!
 //! // Pin the handle to obtain a (temporarily) stable address, write through it.
 //! {
-//!     let pinned = rt.pin(h);
+//!     let pinned = rt.pin(h).expect("live handle");
 //!     rt.vm().write_u64(pinned.addr(), 0xDEAD_BEEF);
 //! } // unpinned here: the object may be moved again
 //!

@@ -38,12 +38,13 @@
 use crate::barrier::BarrierController;
 use crate::error::{AlaskaError, Result};
 use crate::handle::{is_handle, Handle, HandleId};
-use crate::handle_table::{HandleTable, HteState};
+use crate::handle_table::{FreeFault, HandleTable, HteState};
 use crate::malloc_service::MallocService;
 use crate::service::{DefragOutcome, Service, ServiceContext, StoppedWorld};
 use crate::stats::{RuntimeStats, StatsSnapshot};
 use crate::telemetry::RuntimeTelemetry;
 use crate::thread::{ThreadHotStats, ThreadRegistry, ThreadState};
+use alaska_faultline as faultline;
 use alaska_heap::vmem::{VirtAddr, VirtualMemory};
 use alaska_heap::AllocStats;
 use alaska_telemetry::Telemetry;
@@ -52,7 +53,7 @@ use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 static NEXT_RUNTIME_ID: AtomicUsize = AtomicUsize::new(1);
 
@@ -82,6 +83,10 @@ pub struct Runtime {
     service: Mutex<Box<dyn Service>>,
     threads: ThreadRegistry,
     barrier: BarrierController,
+    /// Serializes stop-the-world initiators: the pressure-recovery path can
+    /// start a defragmentation from any mutator thread, and two interleaved
+    /// pauses must not both move objects.
+    pause_lock: Mutex<()>,
     stats: RuntimeStats,
     handle_faults: AtomicBool,
     /// Installed at most once; `None` means telemetry is disabled and every
@@ -175,6 +180,7 @@ impl Runtime {
             service: Mutex::new(service),
             threads: ThreadRegistry::new(),
             barrier: BarrierController::new(),
+            pause_lock: Mutex::new(()),
             stats: RuntimeStats::new(),
             handle_faults: AtomicBool::new(false),
             telemetry: OnceLock::new(),
@@ -315,7 +321,9 @@ impl Runtime {
             return Some(HandleId(id));
         }
         let hint = state.id as usize % self.table.shard_count();
-        if self.table.reserve_ids(hint, MAGAZINE_REFILL, &mut mag) == 0 {
+        if faultline::fire!("magazine.refill")
+            || self.table.reserve_ids(hint, MAGAZINE_REFILL, &mut mag) == 0
+        {
             return None;
         }
         RuntimeStats::bump(&state.hot.magazine_refills);
@@ -335,47 +343,103 @@ impl Runtime {
     ///
     /// * [`AlaskaError::ObjectTooLarge`] if `size` exceeds 4 GiB,
     /// * [`AlaskaError::HandleTableFull`] if the handle table is exhausted,
-    /// * [`AlaskaError::OutOfMemory`] if the service cannot supply backing memory.
+    /// * [`AlaskaError::OutOfMemory`] if the service cannot supply backing
+    ///   memory even after the pressure recovery loop (shed + defragment +
+    ///   backoff) ran out of attempts.
     pub fn halloc(&self, size: usize) -> Result<u64> {
         self.safepoint();
         if size as u64 >= crate::MAX_OBJECT_SIZE {
             return Err(AlaskaError::ObjectTooLarge { requested: size as u64 });
         }
+        if faultline::fire!("halloc.reserve.oom") {
+            return Err(AlaskaError::HandleTableFull);
+        }
         let state = self.current_thread();
         let id = self.acquire_id(&state).ok_or(AlaskaError::HandleTableFull)?;
-        let addr = {
-            let mut service = self.service.lock();
-            match service.alloc(size, id) {
-                Some(a) => a,
-                None => {
-                    // Release-on-OOM: the reserved ID goes back to the
-                    // magazine instead of leaking.
-                    state.magazine.lock().push(id.0);
-                    return Err(AlaskaError::OutOfMemory { requested: size as u64 });
-                }
+        let addr = match self.backing_alloc(size, id) {
+            Some(a) => a,
+            None => {
+                // Release-on-OOM: the reserved ID goes back to the magazine
+                // instead of leaking.
+                state.magazine.lock().push(id.0);
+                return Err(AlaskaError::OutOfMemory { requested: size as u64 });
             }
         };
+        if faultline::fire!("halloc.publish") {
+            // Injected failure between backing allocation and publish: unwind
+            // both halves so neither the block nor the ID leaks.
+            self.service.lock().free(id, addr, size);
+            state.magazine.lock().push(id.0);
+            return Err(AlaskaError::OutOfMemory { requested: size as u64 });
+        }
         self.table.publish(id, addr, size as u32);
         RuntimeStats::bump(&state.hot.hallocs);
         Ok(Handle::new(id).bits())
     }
 
+    /// Ask the service for backing memory, falling into the pressure recovery
+    /// loop when it refuses.
+    fn backing_alloc(&self, size: usize, id: HandleId) -> Option<VirtAddr> {
+        if !faultline::fire!("halloc.backing.oom") {
+            if let Some(addr) = self.service.lock().alloc(size, id) {
+                return Some(addr);
+            }
+        }
+        self.recover_from_alloc_pressure(size, id)
+    }
+
+    /// Graceful OOM degradation: before the application sees an allocation
+    /// failure, shed cheap memory, defragment, and retry with exponential
+    /// backoff.  The service lock is never held across the defrag barrier.
+    #[cold]
+    fn recover_from_alloc_pressure(&self, size: usize, id: HandleId) -> Option<VirtAddr> {
+        let mut backoff = Duration::from_micros(100);
+        for attempt in 1..=3u64 {
+            RuntimeStats::bump(&self.stats.alloc_pressure_events);
+            let shed = self.service.lock().shed_memory();
+            self.defragment(None);
+            if let Some(tel) = self.telemetry.get() {
+                tel.record_alloc_pressure(size as u64, shed, attempt);
+            }
+            if let Some(addr) = self.service.lock().alloc(size, id) {
+                RuntimeStats::bump(&self.stats.alloc_pressure_recoveries);
+                return Some(addr);
+            }
+            std::thread::sleep(backoff);
+            backoff *= 2;
+        }
+        None
+    }
+
     /// Free a handle previously returned by [`Runtime::halloc`].
     ///
-    /// Claiming the entry is a CAS, so of two racing frees exactly one
-    /// succeeds and the other reports [`AlaskaError::InvalidHandle`].  The
-    /// freed ID parks in this thread's magazine for reuse; surplus beyond
-    /// [`MAGAZINE_CAP`] is flushed back to the owning shard in a batch.
+    /// Claiming the entry is a CAS into the poisoned quarantine state, so of
+    /// two racing frees exactly one succeeds and the other gets a typed
+    /// verdict.  The freed ID parks in this thread's magazine for reuse;
+    /// surplus beyond [`MAGAZINE_CAP`] is flushed back to the owning shard in
+    /// a batch.
     ///
     /// # Errors
     ///
-    /// Returns [`AlaskaError::InvalidHandle`] if `value` is not a live handle
-    /// (wild free or double free).
+    /// * [`AlaskaError::DoubleFree`] if `value` was already freed (the entry
+    ///   is poisoned and its ID not yet reused),
+    /// * [`AlaskaError::InvalidHandle`] if `value` never was a live handle
+    ///   (wild free).
     pub fn hfree(&self, value: u64) -> Result<()> {
         self.safepoint();
         let handle = Handle::from_bits(value).ok_or(AlaskaError::InvalidHandle { value })?;
         let id = handle.id();
-        let e = self.table.release_reserved(id).ok_or(AlaskaError::InvalidHandle { value })?;
+        let e = match self.table.release_reserved(id) {
+            Ok(e) => e,
+            Err(FreeFault::DoubleFree) => {
+                RuntimeStats::bump(&self.stats.double_frees_detected);
+                if let Some(tel) = self.telemetry.get() {
+                    tel.record_lifecycle_fault(id.0 as u64, 0);
+                }
+                return Err(AlaskaError::DoubleFree { value });
+            }
+            Err(FreeFault::Dangling) => return Err(AlaskaError::InvalidHandle { value }),
+        };
         self.service.lock().free(id, e.backing, e.size as usize);
         let state = self.current_thread();
         {
@@ -412,6 +476,11 @@ impl Runtime {
         let handle = Handle::from_bits(value).ok_or(AlaskaError::InvalidHandle { value })?;
         let id = handle.id();
         let e = self.table.get(id).ok_or(AlaskaError::InvalidHandle { value })?;
+        if faultline::fire!("hrealloc.repoint") {
+            // Injected failure before any mutation: the object and its entry
+            // are untouched, so the caller can keep using the old size.
+            return Err(AlaskaError::OutOfMemory { requested: new_size as u64 });
+        }
         let (old_addr, old_size) = (e.backing, e.size as usize);
         let mut service = self.service.lock();
         if let Some(new_addr) = service.realloc(id, old_addr, old_size, new_size) {
@@ -463,6 +532,16 @@ impl Runtime {
         };
         let id = handle.id();
         let (addr, state) = self.table.load(id).ok_or(AlaskaError::InvalidHandle { value })?;
+        if state == HteState::Poisoned {
+            // The entry was freed and its ID not reused yet: a detectable
+            // use-after-free rather than a silent read through a stale (or
+            // NULL) backing.
+            RuntimeStats::bump(&self.stats.use_after_frees_detected);
+            if let Some(tel) = self.telemetry.get() {
+                tel.record_lifecycle_fault(id.0 as u64, 1);
+            }
+            return Err(AlaskaError::UseAfterFree { value });
+        }
         if state == HteState::Invalid && self.handle_faults.load(Ordering::Relaxed) {
             // Handle fault (§7): the object was speculatively moved or swapped
             // out.  Our model services the fault by revalidating the entry;
@@ -482,20 +561,19 @@ impl Runtime {
     /// Translate and pin: the returned guard keeps the object immobile until
     /// dropped.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `value` is a dangling handle — using freed memory is undefined
-    /// behaviour in the source program, surfaced loudly here.
-    pub fn pin(&self, value: u64) -> Pinned<'_> {
+    /// Returns [`AlaskaError::UseAfterFree`] for a freed-but-not-reused
+    /// handle and [`AlaskaError::InvalidHandle`] for any other dangling
+    /// value, so library users can recover instead of unwinding.
+    pub fn pin(&self, value: u64) -> Result<Pinned<'_>> {
         let state = self.current_thread();
-        let addr = self
-            .translate_with(&state.hot, value)
-            .unwrap_or_else(|e| panic!("pin of invalid value {value:#x}: {e}"));
+        let addr = self.translate_with(&state.hot, value)?;
         if is_handle(value) {
             state.pins.lock().push_native(value);
             RuntimeStats::bump(&state.hot.pins);
         }
-        Pinned { rt: self, bits: value, addr }
+        Ok(Pinned { rt: self, bits: value, addr })
     }
 
     fn unpin_value(&self, value: u64) {
@@ -531,14 +609,15 @@ impl Runtime {
     ///
     /// # Errors
     ///
-    /// Returns [`AlaskaError::InvalidHandle`] for a dangling handle.
+    /// Returns [`AlaskaError::InvalidHandle`] for a dangling handle and
+    /// [`AlaskaError::NoActivePinFrame`] when no pin frame has been pushed
+    /// (compiler API misuse).
     pub fn translate_into_slot(&self, value: u64, slot: usize) -> Result<VirtAddr> {
         let state = self.current_thread();
         let addr = self.translate_with(&state.hot, value)?;
         if is_handle(value) {
             let mut pins = state.pins.lock();
-            let frame =
-                pins.top_frame_mut().expect("translate_into_slot requires an active pin frame");
+            let frame = pins.top_frame_mut().ok_or(AlaskaError::NoActivePinFrame)?;
             frame.set(slot, value);
             RuntimeStats::bump(&state.hot.pins);
         }
@@ -560,27 +639,55 @@ impl Runtime {
     // Memory access helpers (translate + pin for the duration of the access)
     // ------------------------------------------------------------------
 
+    /// Pin for a helper that has no error channel: dereferencing an invalid
+    /// value through `read_*`/`write_*` is undefined behaviour in the source
+    /// program, surfaced loudly here.  Callers that want to recover use
+    /// [`Runtime::pin`] directly.
+    fn pin_for_access(&self, value: u64, op: &str) -> Pinned<'_> {
+        self.pin(value).unwrap_or_else(|e| panic!("{op} of invalid value {value:#x}: {e}"))
+    }
+
     /// Read `out.len()` bytes from offset `offset` of the object behind `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is a dangling handle (use [`Runtime::pin`] to recover
+    /// instead).
     pub fn read_bytes(&self, value: u64, offset: u64, out: &mut [u8]) {
-        let p = self.pin(value);
+        let p = self.pin_for_access(value, "read_bytes");
         self.vm.read_bytes(p.addr().add(offset), out);
     }
 
     /// Write `data` at offset `offset` of the object behind `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is a dangling handle (use [`Runtime::pin`] to recover
+    /// instead).
     pub fn write_bytes(&self, value: u64, offset: u64, data: &[u8]) {
-        let p = self.pin(value);
+        let p = self.pin_for_access(value, "write_bytes");
         self.vm.write_bytes(p.addr().add(offset), data);
     }
 
     /// Read a `u64` at offset `offset` of the object behind `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is a dangling handle (use [`Runtime::pin`] to recover
+    /// instead).
     pub fn read_u64(&self, value: u64, offset: u64) -> u64 {
-        let p = self.pin(value);
+        let p = self.pin_for_access(value, "read_u64");
         self.vm.read_u64(p.addr().add(offset))
     }
 
     /// Write a `u64` at offset `offset` of the object behind `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is a dangling handle (use [`Runtime::pin`] to recover
+    /// instead).
     pub fn write_u64(&self, value: u64, offset: u64, data: u64) {
-        let p = self.pin(value);
+        let p = self.pin_for_access(value, "write_u64");
         self.vm.write_u64(p.addr().add(offset), data);
     }
 
@@ -595,12 +702,52 @@ impl Runtime {
     /// `f` runs, so no ID can be reserved or restocked during the pause;
     /// entry words remain atomically mutable, which is how the service
     /// relocates objects while straggler threads may still translate.
+    ///
+    /// A straggler that never reaches a safepoint before the watchdog
+    /// deadline ([`Runtime::set_barrier_deadline`]) makes the attempt
+    /// **abort**: the world is released untouched (no shard lock was taken,
+    /// no entry mutated), `barrier_aborts` and a trace event fire, and the
+    /// pause is retried with exponential backoff.  On the final attempt
+    /// remaining stragglers are treated like external threads — they hold no
+    /// pins below their current operation boundary — so a permanently stuck
+    /// thread degrades the pause rather than hanging it.
     pub fn with_stopped_world<R>(&self, f: impl FnOnce(&mut StoppedWorld<'_>) -> R) -> R {
-        let start = Instant::now();
         let me = self.current_thread();
+        // Serialize competing initiators: the pressure-recovery path starts
+        // pauses from arbitrary mutator threads.  While queueing, this thread
+        // is flagged as external so the pause already in progress does not
+        // read it as a straggler (it is idle until the lock is granted, and
+        // external threads safepoint on exit).  Must not be called reentrantly
+        // from inside the stopped-world closure.
+        self.external_begin();
+        let _pause = self.pause_lock.lock();
+        self.external_end();
+
+        let start = Instant::now();
         let others: Vec<Arc<ThreadState>> =
             self.threads.snapshot().into_iter().filter(|t| t.id != me.id).collect();
-        let stop_wait = self.barrier.stop_the_world(&others);
+
+        const MAX_STOP_ATTEMPTS: u64 = 3;
+        let mut backoff = Duration::from_millis(1);
+        let mut attempt = 1u64;
+        let stop_wait = loop {
+            let outcome = self.barrier.stop_the_world(&others);
+            // `barrier.entry` lets the chaos suite force an abort on a pause
+            // that would otherwise have stopped cleanly.
+            let abort = outcome.stragglers > 0 || faultline::fire!("barrier.entry");
+            if !abort || attempt >= MAX_STOP_ATTEMPTS {
+                break outcome.waited;
+            }
+            // Clean abort: release the world, record it, back off, retry.
+            self.barrier.resume();
+            RuntimeStats::bump(&self.stats.barrier_aborts);
+            if let Some(tel) = self.telemetry.get() {
+                tel.record_barrier_abort(outcome.stragglers as u64, attempt);
+            }
+            std::thread::sleep(backoff);
+            backoff *= 2;
+            attempt += 1;
+        };
 
         // Unify pin sets from every registered thread (including ourselves).
         let mut pinned: HashSet<HandleId> = HashSet::new();
@@ -653,6 +800,26 @@ impl Runtime {
     pub fn with_service<R>(&self, f: impl FnOnce(&mut dyn Service) -> R) -> R {
         let mut service = self.service.lock();
         f(service.as_mut())
+    }
+
+    /// Set the barrier watchdog deadline: how long a stop-the-world attempt
+    /// waits for stragglers before aborting and retrying (default 100 ms,
+    /// floor 1 ms).
+    pub fn set_barrier_deadline(&self, deadline: Duration) {
+        self.barrier.set_straggler_timeout(deadline);
+    }
+
+    /// Walk the handle table and check its structural invariants (see
+    /// [`HandleTable::verify_invariants`]); the chaos suite calls this after
+    /// every injected fault.  The global counters are only exact when the
+    /// table is quiescent (no concurrent `halloc`/`hfree`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlaskaError::InvariantViolation`] describing the first
+    /// violated invariant.
+    pub fn verify_table_invariants(&self) -> Result<()> {
+        self.table.verify_invariants().map_err(|detail| AlaskaError::InvariantViolation { detail })
     }
 
     // ------------------------------------------------------------------
@@ -791,7 +958,57 @@ mod tests {
         assert!(matches!(rt.hfree(0x1234), Err(AlaskaError::InvalidHandle { .. })));
         let h = rt.halloc(8).unwrap();
         rt.hfree(h).unwrap();
-        assert!(matches!(rt.hfree(h), Err(AlaskaError::InvalidHandle { .. })));
+        assert!(matches!(rt.hfree(h), Err(AlaskaError::DoubleFree { .. })));
+    }
+
+    #[test]
+    fn lifecycle_faults_return_typed_errors_and_count() {
+        let rt = rt();
+        let h = rt.halloc(16).unwrap();
+        rt.hfree(h).unwrap();
+        // Use-after-free: the freed ID sits poisoned in this thread's
+        // magazine, so both translation and pinning detect it.
+        assert!(matches!(rt.translate(h), Err(AlaskaError::UseAfterFree { .. })));
+        assert!(rt.pin(h).is_err());
+        // Double free of the same handle.
+        assert!(matches!(rt.hfree(h), Err(AlaskaError::DoubleFree { .. })));
+        let s = rt.stats();
+        assert_eq!(s.use_after_frees_detected, 2);
+        assert_eq!(s.double_frees_detected, 1);
+        rt.verify_table_invariants().unwrap();
+    }
+
+    #[test]
+    fn lifecycle_faults_are_traced_when_telemetry_is_installed() {
+        let rt = rt();
+        rt.install_telemetry(Arc::new(alaska_telemetry::Telemetry::new()));
+        let h = rt.halloc(8).unwrap();
+        rt.hfree(h).unwrap();
+        let _ = rt.translate(h);
+        let _ = rt.hfree(h);
+        let events = rt.telemetry().unwrap().ring().snapshot();
+        let kinds: Vec<u64> = events
+            .iter()
+            .filter_map(|r| match r.event {
+                alaska_telemetry::Event::LifecycleFault { kind, .. } => Some(kind),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds, vec![1, 0], "one use-after-free then one double free");
+    }
+
+    #[test]
+    fn translate_into_slot_without_frame_is_a_typed_error() {
+        let rt = rt();
+        let h = rt.halloc(8).unwrap();
+        assert_eq!(rt.translate_into_slot(h, 0), Err(AlaskaError::NoActivePinFrame));
+    }
+
+    #[test]
+    fn pin_of_dangling_value_is_a_typed_error() {
+        let rt = rt();
+        let bogus = Handle::new(HandleId(12345)).bits();
+        assert!(matches!(rt.pin(bogus), Err(AlaskaError::InvalidHandle { .. })));
     }
 
     #[test]
@@ -805,7 +1022,7 @@ mod tests {
         let rt = rt();
         let h = rt.halloc(64).unwrap();
         rt.write_u64(h, 0, 7);
-        let guard = rt.pin(h);
+        let guard = rt.pin(h).unwrap();
         let before = guard.addr();
         // Try to move everything; the pinned object must stay.
         rt.with_stopped_world(|world| {

@@ -110,6 +110,15 @@ pub trait Service: Send {
         DefragOutcome::default()
     }
 
+    /// Called by the runtime when a backing allocation fails: release
+    /// whatever physical memory can be freed cheaply *right now* (empty
+    /// sub-heaps, trimmed tails) and return how many bytes were shed.  Runs
+    /// outside any barrier, so implementations must only touch memory no live
+    /// object occupies.  The default sheds nothing.
+    fn shed_memory(&mut self) -> u64 {
+        0
+    }
+
     /// Called when a telemetry hub is installed on the owning runtime.  The
     /// service may keep the `Arc` and publish its own metrics and events
     /// (Anchorage records sub-heap lifecycle and fragmentation gauges).  The

@@ -120,6 +120,17 @@ define_stats! {
     magazine_refills,
     /// Per-thread free-ID magazine flushes (batch returns to a shard).
     magazine_flushes,
+    /// Double frees detected by the poisoned-entry state machine.
+    double_frees_detected,
+    /// Use-after-free translate attempts detected on poisoned entries.
+    use_after_frees_detected,
+    /// Stop-the-world attempts aborted by the straggler watchdog (each is
+    /// retried with backoff).
+    barrier_aborts,
+    /// Times a failed backing allocation entered the pressure recovery loop.
+    alloc_pressure_events,
+    /// Pressure recoveries that ended with the allocation succeeding.
+    alloc_pressure_recoveries,
 }
 
 impl RuntimeStats {

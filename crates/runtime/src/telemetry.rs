@@ -116,4 +116,20 @@ impl RuntimeTelemetry {
     pub(crate) fn record_handle_fault(&self, handle_id: u64) {
         self.hub.emit(Event::HandleFault { handle_id });
     }
+
+    /// Record an aborted stop-the-world attempt (straggler watchdog fired).
+    pub(crate) fn record_barrier_abort(&self, stragglers: u64, attempt: u64) {
+        self.hub.emit(Event::BarrierAbort { stragglers, attempt });
+    }
+
+    /// Record a detected handle lifecycle violation (`kind`: 0 = double free,
+    /// 1 = use-after-free).
+    pub(crate) fn record_lifecycle_fault(&self, handle_id: u64, kind: u64) {
+        self.hub.emit(Event::LifecycleFault { handle_id, kind });
+    }
+
+    /// Record one pass of the allocation pressure recovery loop.
+    pub(crate) fn record_alloc_pressure(&self, requested: u64, shed_bytes: u64, attempt: u64) {
+        self.hub.emit(Event::AllocPressure { requested, shed_bytes, attempt });
+    }
 }

@@ -65,6 +65,33 @@ pub enum Event {
         /// Polls executed since the previous batch report.
         polls: u64,
     },
+    /// A stop-the-world attempt was aborted because stragglers never reached
+    /// a safepoint before the watchdog deadline; the pause is retried with
+    /// backoff.
+    BarrierAbort {
+        /// Threads that had not stopped when the deadline expired.
+        stragglers: u64,
+        /// Which attempt (1-based) of the pause was aborted.
+        attempt: u64,
+    },
+    /// A handle lifecycle violation (double free or use-after-free) was
+    /// detected by the poisoned-entry state machine.
+    LifecycleFault {
+        /// ID of the offending handle.
+        handle_id: u64,
+        /// 0 = double free, 1 = use-after-free.
+        kind: u64,
+    },
+    /// A backing allocation failed and the runtime entered its pressure
+    /// recovery loop (shed + defragment + backoff + retry).
+    AllocPressure {
+        /// Bytes the failing allocation requested.
+        requested: u64,
+        /// Bytes the service shed in response.
+        shed_bytes: u64,
+        /// Which recovery attempt (1-based) this was.
+        attempt: u64,
+    },
 }
 
 impl Event {
@@ -78,6 +105,9 @@ impl Event {
             Event::SubheapRotate { .. } => "subheap_rotate",
             Event::HandleFault { .. } => "handle_fault",
             Event::SafepointBatch { .. } => "safepoint_batch",
+            Event::BarrierAbort { .. } => "barrier_abort",
+            Event::LifecycleFault { .. } => "lifecycle_fault",
+            Event::AllocPressure { .. } => "alloc_pressure",
         }
     }
 
@@ -100,6 +130,15 @@ impl Event {
             Event::SubheapRotate { from, to } => vec![("from", from), ("to", to)],
             Event::HandleFault { handle_id } => vec![("handle_id", handle_id)],
             Event::SafepointBatch { polls } => vec![("polls", polls)],
+            Event::BarrierAbort { stragglers, attempt } => {
+                vec![("stragglers", stragglers), ("attempt", attempt)]
+            }
+            Event::LifecycleFault { handle_id, kind } => {
+                vec![("handle_id", handle_id), ("kind", kind)]
+            }
+            Event::AllocPressure { requested, shed_bytes, attempt } => {
+                vec![("requested", requested), ("shed_bytes", shed_bytes), ("attempt", attempt)]
+            }
         }
     }
 }
@@ -275,6 +314,9 @@ mod tests {
             Event::SubheapRotate { from: 9, to: 10 },
             Event::HandleFault { handle_id: 11 },
             Event::SafepointBatch { polls: 12 },
+            Event::BarrierAbort { stragglers: 13, attempt: 14 },
+            Event::LifecycleFault { handle_id: 15, kind: 1 },
+            Event::AllocPressure { requested: 16, shed_bytes: 17, attempt: 18 },
         ];
         let mut names = std::collections::HashSet::new();
         for e in events {

@@ -42,7 +42,7 @@ fn main() -> Result<(), alaska::AlaskaError> {
     println!("element 123 still reads back {}", rt.read_u64(sample, 0));
 
     // Pinned objects are left alone for as long as the pin guard lives.
-    let pin = rt.pin(sample);
+    let pin = rt.pin(sample)?;
     let before = pin.addr();
     rt.defragment(None);
     assert_eq!(rt.translate(sample)?, before);
