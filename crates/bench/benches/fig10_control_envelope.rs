@@ -5,7 +5,8 @@
 
 use alaska::ControlParams;
 use alaska_bench::redis::{run_redis_experiment, Backend, RedisExperimentConfig};
-use alaska_bench::{emit_json, env_scale};
+use alaska_bench::sections::ControlEnvelopeSection;
+use alaska_bench::{emit_section, env_scale};
 
 fn main() {
     let scale = env_scale("ALASKA_FIG10_SCALE", 1.0);
@@ -86,7 +87,5 @@ fn main() {
         "Envelope of control: steady-state RSS ranges from {lo:.1} MB (aggressive) to {hi:.1} MB \
          (conservative) — the operator-visible tradeoff between overhead and fragmentation."
     );
-    let summary: Vec<(usize, f64, f64)> =
-        curves.iter().map(|(i, p, r)| (*i, p.alpha, r.steady_rss as f64)).collect();
-    emit_json("fig10", &summary);
+    emit_section(&ControlEnvelopeSection { curves });
 }

@@ -4,7 +4,8 @@
 //! synthetic setup.
 
 use alaska_bench::memcached::{run_pause_experiment, PauseExperimentConfig, PauseExperimentResult};
-use alaska_bench::{emit_json, env_scale};
+use alaska_bench::sections::PauseSection;
+use alaska_bench::{emit_section, env_scale};
 
 fn main() {
     let duration_ms = env_scale("ALASKA_FIG12_DURATION_MS", 300.0) as u64;
@@ -101,5 +102,5 @@ fn main() {
         "Paper shape: short pause intervals raise average latency (~10% including impractical \
          intervals, <7% above 500 ms), and there is no systematic trend with thread count."
     );
-    emit_json("fig12", &all);
+    emit_section(&PauseSection { duration_ms, results: all });
 }

@@ -2,7 +2,8 @@
 //! and pin tracking across the Embench/GAP/NAS/SPEC-like benchmark suites,
 //! plus the geometric mean the paper headlines (~10%).
 
-use alaska_bench::{emit_json, env_scale};
+use alaska_bench::sections::OverheadSection;
+use alaska_bench::{emit_section, env_scale};
 use alaska_benchsuite::harness::{geomean_overhead_pct, run_overhead_study};
 use alaska_benchsuite::Scale;
 
@@ -37,9 +38,5 @@ fn main() {
          measured {geomean:.1}% / {geomean_no_violators:.1}%"
     );
 
-    let rows: Vec<(String, String, f64)> = results
-        .iter()
-        .map(|r| (r.name.clone(), r.suite.to_string(), r.alaska_overhead_pct()))
-        .collect();
-    emit_json("fig7", &rows);
+    emit_section(&OverheadSection { scale: scale.0, results });
 }

@@ -2,7 +2,8 @@
 //! full pipeline ("alaska"), tracking removed ("notracking") and hoisting
 //! removed ("nohoisting").
 
-use alaska_bench::{emit_json, env_scale};
+use alaska_bench::sections::AblationSection;
+use alaska_bench::{emit_section, env_scale};
 use alaska_benchsuite::harness::run_ablation_study;
 use alaska_benchsuite::Scale;
 
@@ -15,18 +16,16 @@ fn main() {
         "{:<14} {:>12} {:>14} {:>14}",
         "benchmark", "alaska_%", "notracking_%", "nohoisting_%"
     );
-    let mut rows = Vec::new();
     for r in &results {
         let alaska = r.config("alaska").map(|c| c.overhead_pct).unwrap_or(0.0);
         let notracking = r.config("notracking").map(|c| c.overhead_pct).unwrap_or(0.0);
         let nohoisting = r.config("nohoisting").map(|c| c.overhead_pct).unwrap_or(0.0);
         println!("{:<14} {:>12.1} {:>14.1} {:>14.1}", r.name, alaska, notracking, nohoisting);
-        rows.push((r.name.clone(), alaska, notracking, nohoisting));
     }
     println!();
     println!(
         "Paper shape: disabling hoisting roughly doubles most benchmarks' overhead; \
          removing tracking recovers a small amount (most visible on nab/xz)."
     );
-    emit_json("fig8", &rows);
+    emit_section(&AblationSection { scale: scale.0, results });
 }

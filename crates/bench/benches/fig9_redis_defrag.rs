@@ -7,7 +7,8 @@ use alaska::ControlParams;
 use alaska_bench::redis::{
     run_redis_experiment, savings_vs_baseline, Backend, RedisExperimentConfig,
 };
-use alaska_bench::{emit_json, env_scale};
+use alaska_bench::sections::RedisSection;
+use alaska_bench::{emit_section, env_scale};
 
 fn main() {
     let scale = env_scale("ALASKA_FIG9_SCALE", 1.0);
@@ -79,5 +80,10 @@ fn main() {
         savings_vs_baseline(anchorage, baseline) * 100.0,
         savings_vs_baseline(activedefrag, baseline) * 100.0
     );
-    emit_json("fig9", &results);
+    emit_section(&RedisSection {
+        harness: "fig9",
+        maxmemory: cfg.maxmemory,
+        duration_ms: cfg.duration_ms,
+        results,
+    });
 }

@@ -2,7 +2,8 @@
 //! transformation (the paper reports ~48% geomean executable growth, with a
 //! worst case around 2× when hoisting cannot help).
 
-use alaska_bench::{emit_json, env_scale};
+use alaska_bench::sections::CodesizeSection;
+use alaska_bench::{emit_section, env_scale};
 use alaska_benchsuite::harness::run_codesize_study;
 use alaska_benchsuite::Scale;
 
@@ -24,7 +25,12 @@ fn main() {
             report.total_safepoints()
         );
         factors.push(growth);
-        rows.push((name.clone(), growth));
+        rows.push((
+            name.clone(),
+            growth,
+            report.total_translations() as u64,
+            report.total_safepoints() as u64,
+        ));
     }
     let geomean = (factors.iter().map(|f| f.ln()).sum::<f64>() / factors.len() as f64).exp();
     let worst = factors.iter().cloned().fold(0.0f64, f64::max);
@@ -33,5 +39,5 @@ fn main() {
         "geomean growth {:.2}x (paper: ~1.48x), worst case {:.2}x (paper: ~2x)",
         geomean, worst
     );
-    emit_json("table_codesize", &rows);
+    emit_section(&CodesizeSection { scale: scale.0, rows });
 }

@@ -3,10 +3,11 @@
 //! counters (shard locks, magazines, fast-path translations) that show the
 //! sharded handle table keeping threads off each other's locks.
 
+use alaska_bench::sections::ThreadSweepSection;
 use alaska_bench::thread_sweep::{
     run_thread_sweep, SweepMix, ThreadSweepConfig, ThreadSweepResult,
 };
-use alaska_bench::{emit_json, env_scale};
+use alaska_bench::{emit_section, env_scale};
 
 fn main() {
     let ops_per_thread = env_scale("ALASKA_THREAD_SWEEP_OPS", 200_000.0) as u64;
@@ -66,5 +67,5 @@ fn main() {
          fast path is a relaxed atomic load; alloc/free scales with the shard count because \
          magazines batch shard-lock traffic. Contention counters stay near zero either way."
     );
-    emit_json("thread_sweep", &all);
+    emit_section(&ThreadSweepSection { ops_per_thread, results: all });
 }

@@ -1,0 +1,145 @@
+//! Plain-stopwatch microbenchmarks of the runtime's hot paths.
+//!
+//! `benches/micro_runtime.rs` measures the same operations under Criterion's
+//! statistical machinery for interactive use; this module provides a
+//! dependency-light driver that `alaska-benchctl` can call to put the same
+//! numbers — nanoseconds per operation for the §3.3 translation sequence,
+//! pin/unpin, `halloc`/`hfree` and a budgeted defragmentation barrier — into
+//! a run manifest.  Absolute wall-clock numbers are machine-dependent; the
+//! manifest's tolerance rules treat them accordingly.
+
+use alaska::AlaskaBuilder;
+use alaska_telemetry::json::{object, JsonValue, ToJson};
+use std::time::Instant;
+
+/// Iteration counts for one micro run.
+#[derive(Debug, Clone, Copy)]
+pub struct MicroConfig {
+    /// Iterations for each per-operation loop (translate, pin, alloc).
+    pub iters: u64,
+    /// Objects populating the heap before each defragmentation barrier.
+    pub defrag_objects: usize,
+    /// Defragmentation barriers to time.
+    pub defrag_rounds: u64,
+}
+
+impl Default for MicroConfig {
+    fn default() -> Self {
+        MicroConfig { iters: 200_000, defrag_objects: 10_000, defrag_rounds: 10 }
+    }
+}
+
+/// Nanoseconds-per-operation result of one micro loop.
+#[derive(Debug, Clone)]
+pub struct MicroResult {
+    /// Stable operation name (`translate_handle`, `pin_unpin`, …).
+    pub name: &'static str,
+    /// Iterations timed.
+    pub iters: u64,
+    /// Total wall-clock nanoseconds for the loop.
+    pub total_ns: u64,
+    /// Mean nanoseconds per operation.
+    pub ns_per_op: f64,
+}
+
+impl ToJson for MicroResult {
+    fn to_json(&self) -> JsonValue {
+        object([
+            ("name", JsonValue::Str(self.name.to_string())),
+            ("iters", JsonValue::U64(self.iters)),
+            ("total_ns", JsonValue::U64(self.total_ns)),
+            ("ns_per_op", JsonValue::F64(self.ns_per_op)),
+        ])
+    }
+}
+
+fn time_loop(name: &'static str, iters: u64, mut op: impl FnMut(u64)) -> MicroResult {
+    // Short untimed warm-up so first-touch effects stay out of the numbers.
+    for i in 0..(iters / 10).max(1) {
+        op(i);
+    }
+    let start = Instant::now();
+    for i in 0..iters {
+        op(i);
+    }
+    let total_ns = start.elapsed().as_nanos() as u64;
+    MicroResult { name, iters, total_ns, ns_per_op: total_ns as f64 / iters.max(1) as f64 }
+}
+
+/// Run every micro loop and return one result per operation.
+pub fn run_micro(cfg: &MicroConfig) -> Vec<MicroResult> {
+    let mut out = Vec::new();
+
+    let rt = AlaskaBuilder::new().with_anchorage().build();
+    let h = rt.halloc(64).expect("halloc");
+    let raw = rt.vm().map(4096).0;
+    out.push(time_loop("translate_handle", cfg.iters, |_| {
+        std::hint::black_box(rt.translate(h).unwrap());
+    }));
+    out.push(time_loop("translate_raw_pointer", cfg.iters, |_| {
+        std::hint::black_box(rt.translate(raw).unwrap());
+    }));
+    rt.enable_handle_faults(true);
+    out.push(time_loop("translate_with_fault_check", cfg.iters, |_| {
+        std::hint::black_box(rt.translate(h).unwrap());
+    }));
+    rt.enable_handle_faults(false);
+    out.push(time_loop("pin_unpin", cfg.iters, |_| {
+        let p = rt.pin(h).unwrap();
+        std::hint::black_box(p.addr());
+    }));
+    out.push(time_loop("halloc_hfree_64b", cfg.iters, |_| {
+        let h = rt.halloc(64).unwrap();
+        rt.hfree(h).unwrap();
+    }));
+
+    // Defragmentation barrier over a half-freed heap, rebuilt every round so
+    // each barrier sees comparable fragmentation.
+    let mut total_ns = 0u64;
+    for _ in 0..cfg.defrag_rounds {
+        let rt = AlaskaBuilder::new().with_anchorage().build();
+        let handles: Vec<u64> = (0..cfg.defrag_objects).map(|_| rt.halloc(128).unwrap()).collect();
+        for (i, h) in handles.iter().enumerate() {
+            if i % 2 == 0 {
+                rt.hfree(*h).unwrap();
+            }
+        }
+        let start = Instant::now();
+        std::hint::black_box(rt.defragment(Some(1 << 20)));
+        total_ns += start.elapsed().as_nanos() as u64;
+    }
+    out.push(MicroResult {
+        name: "defrag_barrier_1mib_budget",
+        iters: cfg.defrag_rounds,
+        total_ns,
+        ns_per_op: total_ns as f64 / cfg.defrag_rounds.max(1) as f64,
+    });
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_covers_every_hot_path() {
+        let cfg = MicroConfig { iters: 2_000, defrag_objects: 500, defrag_rounds: 2 };
+        let results = run_micro(&cfg);
+        let names: Vec<&str> = results.iter().map(|r| r.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "translate_handle",
+                "translate_raw_pointer",
+                "translate_with_fault_check",
+                "pin_unpin",
+                "halloc_hfree_64b",
+                "defrag_barrier_1mib_budget",
+            ]
+        );
+        for r in &results {
+            assert!(r.ns_per_op > 0.0, "{} must record time", r.name);
+        }
+    }
+}

@@ -87,6 +87,13 @@ pub struct ThreadSweepResult {
     pub magazine_flushes: u64,
     /// Translations served without a handle fault.
     pub fast_path_translations: u64,
+    /// `available_parallelism` of the host: single-core machines cannot show
+    /// throughput scaling, so consumers must label the `mops` column
+    /// accordingly (see the ROADMAP caveat).
+    pub available_parallelism: usize,
+    /// Effective handle-table shard count of the runtime under test (sized
+    /// from `available_parallelism` at construction).
+    pub shards: usize,
 }
 
 impl ToJson for ThreadSweepResult {
@@ -101,6 +108,8 @@ impl ToJson for ThreadSweepResult {
             ("magazine_refills", JsonValue::U64(self.magazine_refills)),
             ("magazine_flushes", JsonValue::U64(self.magazine_flushes)),
             ("fast_path_translations", JsonValue::U64(self.fast_path_translations)),
+            ("available_parallelism", JsonValue::U64(self.available_parallelism as u64)),
+            ("shards", JsonValue::U64(self.shards as u64)),
         ])
     }
 }
@@ -171,7 +180,14 @@ pub fn run_thread_sweep(cfg: &ThreadSweepConfig) -> ThreadSweepResult {
         magazine_refills: snap.magazine_refills,
         magazine_flushes: snap.magazine_flushes,
         fast_path_translations: snap.translations.saturating_sub(snap.handle_faults),
+        available_parallelism: available_parallelism(),
+        shards: rt.handle_table_shards(),
     }
+}
+
+/// The host's `available_parallelism`, or 1 if it cannot be determined.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -191,6 +207,8 @@ mod tests {
         assert_eq!(r.total_ops, 10_000);
         assert!(r.fast_path_translations >= r.total_ops, "every op is a translation");
         assert!(r.mops > 0.0);
+        assert!(r.available_parallelism >= 1);
+        assert!(r.shards.is_power_of_two(), "auto shard count is a power of two");
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Host detection and process accounting for run manifests.
+//!
+//! Benchmark numbers are only interpretable next to the machine that
+//! produced them: a single-core CI container cannot show thread scaling, and
+//! wall-clock metrics from different hosts are not comparable at tight
+//! tolerances.  Every manifest therefore embeds a [`HostInfo`] plus the git
+//! SHA of the tree under test.
+
+use alaska_telemetry::json::{object, JsonValue};
+
+/// The machine a manifest was produced on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostInfo {
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// `available_parallelism`, or 1 when it cannot be determined.
+    pub available_parallelism: usize,
+    /// Hostname, or `"unknown"`.
+    pub hostname: String,
+}
+
+impl HostInfo {
+    /// Detect the current host.
+    pub fn detect() -> Self {
+        HostInfo {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            available_parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            hostname: hostname(),
+        }
+    }
+
+    /// Render as the manifest's `host` object.
+    pub fn to_json(&self) -> JsonValue {
+        object([
+            ("os", JsonValue::Str(self.os.clone())),
+            ("arch", JsonValue::Str(self.arch.clone())),
+            ("available_parallelism", JsonValue::U64(self.available_parallelism as u64)),
+            ("hostname", JsonValue::Str(self.hostname.clone())),
+        ])
+    }
+
+    /// Rebuild from a manifest's `host` object; missing fields default.
+    pub fn from_json(value: &JsonValue) -> Self {
+        let field =
+            |key: &str| value.get(key).and_then(JsonValue::as_str).unwrap_or("unknown").to_string();
+        HostInfo {
+            os: field("os"),
+            arch: field("arch"),
+            available_parallelism: value
+                .get("available_parallelism")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(1) as usize,
+            hostname: field("hostname"),
+        }
+    }
+}
+
+fn hostname() -> String {
+    std::fs::read_to_string("/proc/sys/kernel/hostname")
+        .map(|s| s.trim().to_string())
+        .ok()
+        .filter(|s| !s.is_empty())
+        .or_else(|| std::env::var("HOSTNAME").ok())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The git SHA of the tree under test: `git rev-parse HEAD`, falling back to
+/// `GITHUB_SHA`, then `"unknown"`.  A dirty working tree is marked with a
+/// `-dirty` suffix.
+pub fn git_sha() -> String {
+    let run = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+    };
+    if let Some(sha) = run(&["rev-parse", "HEAD"]).filter(|s| !s.is_empty()) {
+        let dirty = run(&["status", "--porcelain"]).map(|s| !s.is_empty()).unwrap_or(false);
+        return if dirty { format!("{sha}-dirty") } else { sha };
+    }
+    std::env::var("GITHUB_SHA").unwrap_or_else(|_| "unknown".to_string())
+}
+
+/// CPU time (user + system) consumed by this process so far, in seconds.
+/// Linux-only (`/proc/self/stat`); `None` elsewhere.
+pub fn cpu_time_s() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // Fields 14/15 (1-based) are utime/stime in clock ticks; the comm field
+    // may contain spaces but is parenthesised, so split after the last ')'.
+    let rest = stat.rsplit_once(')')?.1;
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    let utime: f64 = fields.get(11)?.parse().ok()?;
+    let stime: f64 = fields.get(12)?.parse().ok()?;
+    // USER_HZ is 100 on every Linux configuration this repo targets.
+    Some((utime + stime) / 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_info_round_trips_through_json() {
+        let host = HostInfo::detect();
+        assert!(host.available_parallelism >= 1);
+        let back = HostInfo::from_json(&host.to_json());
+        assert_eq!(back, host);
+    }
+
+    #[test]
+    fn host_info_defaults_on_malformed_json() {
+        let back = HostInfo::from_json(&JsonValue::Null);
+        assert_eq!(back.os, "unknown");
+        assert_eq!(back.available_parallelism, 1);
+    }
+
+    #[test]
+    fn cpu_time_is_monotonic_on_linux() {
+        if let Some(before) = cpu_time_s() {
+            // Burn a little CPU; the reading must not go backwards.
+            let mut x = 0u64;
+            for i in 0..2_000_000u64 {
+                x = x.wrapping_add(i * i);
+            }
+            std::hint::black_box(x);
+            let after = cpu_time_s().unwrap();
+            assert!(after >= before);
+        }
+    }
+
+    #[test]
+    fn git_sha_reports_something() {
+        assert!(!git_sha().is_empty());
+    }
+}

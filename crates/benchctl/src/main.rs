@@ -1,0 +1,281 @@
+//! `benchctl` — run the figure harnesses into one run manifest and gate
+//! regressions between manifests.
+//!
+//! ```text
+//! benchctl run [--all | --only fig7,fig9,...] [--out PATH] [--scale F] [--quiet]
+//! benchctl compare BASE.json NEW.json [--tolerance PATTERN=REL]... [--verbose]
+//! benchctl selftest MANIFEST.json
+//! benchctl list
+//! ```
+//!
+//! Exit codes: `0` success / gate passed, `1` regression detected, `2`
+//! usage or I/O error.
+
+use alaska_benchctl::compare::parse_override;
+use alaska_benchctl::{
+    compare_manifests, default_rules, host, CompareReport, Harness, HostInfo, RunManifest,
+};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "\
+benchctl — unified run-manifest benchmark harness
+
+USAGE:
+    benchctl run [--all] [--only NAMES] [--out PATH] [--scale F] [--quiet]
+    benchctl compare BASE.json NEW.json [--tolerance PATTERN=REL]... [--verbose]
+    benchctl selftest MANIFEST.json
+    benchctl list
+
+SUBCOMMANDS:
+    run        Run harnesses and write one schema-versioned run-manifest.json
+               (default --all; --only fig7,fig12 runs a subset; --scale 1.0 is
+               CI-sized, ~4.0 approximates the publication figures)
+    compare    Diff two manifests under per-metric tolerance rules; exits 1
+               on regression or lost metric coverage
+    selftest   Prove the gate works: inject a 20% p99 regression into a copy
+               of MANIFEST (must fail) and 2% noise (must pass)
+    list       List harness names
+
+EXIT CODES:
+    0 success / gate passed    1 regression    2 usage or I/O error
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("selftest") => cmd_selftest(&args[1..]),
+        Some("list") => {
+            for h in Harness::ALL {
+                println!("{}", h.name());
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("benchctl: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let mut out = PathBuf::from("run-manifest.json");
+    let mut scale = 1.0f64;
+    let mut only: Option<Vec<Harness>> = None;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => only = None,
+            "--only" => {
+                let names = it.next().ok_or("--only needs a comma-separated harness list")?;
+                let mut list = Vec::new();
+                for name in names.split(',').filter(|n| !n.is_empty()) {
+                    list.push(Harness::from_name(name).ok_or_else(|| {
+                        format!("unknown harness {name:?} (see `benchctl list`)")
+                    })?);
+                }
+                only = Some(list);
+            }
+            "--out" => out = PathBuf::from(it.next().ok_or("--out needs a path")?),
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|s: &f64| *s > 0.0)
+                    .ok_or("--scale needs a positive number")?;
+            }
+            "--quiet" => quiet = true,
+            other => return Err(format!("unknown run flag {other:?}\n\n{USAGE}")),
+        }
+    }
+    let harnesses = only.unwrap_or_else(|| Harness::ALL.to_vec());
+
+    let start = Instant::now();
+    let cpu_start = host::cpu_time_s();
+    let mut manifest = RunManifest::new(HostInfo::detect(), host::git_sha());
+    manifest.set_config("scale", scale);
+    manifest
+        .set_config("harnesses", harnesses.iter().map(|h| h.name()).collect::<Vec<_>>().join(","));
+
+    for (i, harness) in harnesses.iter().enumerate() {
+        if !quiet {
+            eprintln!("[{}/{}] running {} ...", i + 1, harnesses.len(), harness.name());
+        }
+        let section_start = Instant::now();
+        let section = alaska_benchctl::runner::run_harness(*harness, scale);
+        manifest.add_section(section.as_ref());
+        if !quiet {
+            eprintln!(
+                "[{}/{}] {} done in {:.1}s",
+                i + 1,
+                harnesses.len(),
+                harness.name(),
+                section_start.elapsed().as_secs_f64()
+            );
+        }
+    }
+    if !quiet {
+        eprintln!("capturing telemetry registry snapshot ...");
+    }
+    manifest.telemetry = alaska_benchctl::runner::telemetry_snapshot();
+    manifest.wall_time_s = start.elapsed().as_secs_f64();
+    manifest.cpu_time_s = match (cpu_start, host::cpu_time_s()) {
+        (Some(a), Some(b)) => Some(b - a),
+        _ => None,
+    };
+    manifest.save(&out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} sections, {} gating metrics, {:.1}s wall)",
+        out.display(),
+        manifest.sections.len(),
+        manifest.metrics().len(),
+        manifest.wall_time_s
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn load(path: &str) -> Result<RunManifest, String> {
+    RunManifest::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
+    let mut paths = Vec::new();
+    let mut rules = Vec::new();
+    let mut verbose = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                let spec = it.next().ok_or("--tolerance needs PATTERN=REL")?;
+                rules.push(parse_override(spec)?);
+            }
+            "--verbose" => verbose = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown compare flag {flag:?}\n\n{USAGE}"))
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [base_path, new_path] = paths.as_slice() else {
+        return Err(format!("compare needs exactly BASE and NEW paths\n\n{USAGE}"));
+    };
+    rules.extend(default_rules());
+    let base = load(base_path)?;
+    let new = load(new_path)?;
+    let report = compare_manifests(&base, &new, &rules).map_err(|e| e.to_string())?;
+    print_report(&report, verbose);
+    Ok(if report.passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn print_report(report: &CompareReport, verbose: bool) {
+    for d in &report.regressions {
+        println!(
+            "REGRESSION {}: {:.4} -> {:.4} ({:+.1}% worse, tolerance {:.0}%, rule {})",
+            d.name,
+            d.base,
+            d.new,
+            d.worse_by * 100.0,
+            d.rel_tol * 100.0,
+            d.rule
+        );
+    }
+    for name in &report.missing {
+        println!("MISSING {name}: present in baseline, absent in new manifest");
+    }
+    for d in &report.improvements {
+        println!(
+            "improvement {}: {:.4} -> {:.4} ({:.1}% better)",
+            d.name,
+            d.base,
+            d.new,
+            -d.worse_by * 100.0
+        );
+    }
+    if verbose {
+        for name in &report.added {
+            println!("added {name}");
+        }
+    }
+    println!(
+        "compare: {} regressions, {} missing, {} improvements, {} within tolerance, {} added — {}",
+        report.regressions.len(),
+        report.missing.len(),
+        report.improvements.len(),
+        report.within,
+        report.added.len(),
+        if report.passed() { "PASS" } else { "FAIL" }
+    );
+}
+
+/// Prove the gate trips: a +20% p99 regression must fail, 2% noise must pass.
+fn cmd_selftest(args: &[String]) -> Result<ExitCode, String> {
+    let [path] = args else { return Err(format!("selftest needs MANIFEST.json\n\n{USAGE}")) };
+    let base = load(path)?;
+    let rules = default_rules();
+
+    // Inject into the largest p99 so the regression dominates the rule's
+    // denominator floor regardless of how small the run was.
+    let target = base
+        .metrics()
+        .into_iter()
+        .filter(|(k, _)| k.starts_with("fig12.p99_us."))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(k, _)| k)
+        .ok_or_else(|| format!("{path} has no fig12.p99_us.* metrics; run with fig12 included"))?;
+
+    let regressed =
+        scale_metrics(&base, |name| if name == target.as_str() { Some(1.20) } else { None });
+    let report = compare_manifests(&base, &regressed, &rules).map_err(|e| e.to_string())?;
+    if report.passed() {
+        return Err(format!("gate failed to flag an injected +20% regression on {target}"));
+    }
+    println!(
+        "selftest: injected +20% on {target} -> correctly FAILED ({} regression[s])",
+        report.regressions.len()
+    );
+
+    let noisy =
+        scale_metrics(&base, |name| if name.starts_with("fig12.") { Some(1.02) } else { None });
+    let report = compare_manifests(&base, &noisy, &rules).map_err(|e| e.to_string())?;
+    if !report.passed() {
+        print_report(&report, false);
+        return Err("gate flagged 2% noise as a regression".to_string());
+    }
+    println!("selftest: +2% noise across fig12 -> correctly PASSED");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Return a copy of `manifest` with each metric multiplied by
+/// `factor(name)` (where it returns `Some`).
+fn scale_metrics(manifest: &RunManifest, factor: impl Fn(&str) -> Option<f64>) -> RunManifest {
+    use alaska_telemetry::json::JsonValue;
+    let mut out = manifest.clone();
+    for (harness, section) in &mut out.sections {
+        let JsonValue::Object(fields) = section else { continue };
+        for (key, value) in fields.iter_mut() {
+            if key != "metrics" {
+                continue;
+            }
+            let JsonValue::Object(metrics) = value else { continue };
+            for (path, metric) in metrics.iter_mut() {
+                let full = format!("{harness}.{path}");
+                if let (Some(f), Some(v)) = (factor(&full), metric.as_f64()) {
+                    *metric = JsonValue::F64(v * f);
+                }
+            }
+        }
+    }
+    out
+}

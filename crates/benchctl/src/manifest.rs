@@ -1,0 +1,305 @@
+//! The schema-versioned run manifest.
+//!
+//! A [`RunManifest`] is the single artifact one `benchctl run` produces: the
+//! host and git SHA the numbers came from, the per-harness sections (config
+//! knobs, flat gating metrics, full figure rows), a telemetry-registry
+//! snapshot and the run's wall/CPU time.  Manifests round-trip losslessly
+//! through JSON, and loading rejects documents whose `schema_version` does
+//! not match [`SCHEMA_VERSION`] — tolerance rules are only meaningful
+//! between manifests with the same metric layout.
+
+use crate::host::HostInfo;
+use alaska_bench::ManifestSection;
+use alaska_telemetry::json::{JsonParseError, JsonValue};
+use std::collections::BTreeMap;
+
+/// Version of the manifest layout this build writes and accepts.
+///
+/// Bump it whenever a section's metric paths change meaning or the top-level
+/// layout changes shape; `compare` refuses to diff across versions.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Why a manifest could not be loaded.
+#[derive(Debug)]
+pub enum ManifestError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The document is not valid JSON.
+    Parse(JsonParseError),
+    /// The document parses but is missing required structure.
+    Malformed(String),
+    /// The document's `schema_version` differs from [`SCHEMA_VERSION`].
+    SchemaVersionMismatch {
+        /// Version found in the document.
+        found: u64,
+        /// Version this build writes and accepts.
+        expected: u64,
+    },
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManifestError::Io(e) => write!(f, "manifest I/O error: {e}"),
+            ManifestError::Parse(e) => write!(f, "manifest is not valid JSON: {e}"),
+            ManifestError::Malformed(what) => write!(f, "malformed manifest: {what}"),
+            ManifestError::SchemaVersionMismatch { found, expected } => write!(
+                f,
+                "manifest schema version {found} does not match this build's {expected}; \
+                 regenerate the manifest with this benchctl"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+impl From<std::io::Error> for ManifestError {
+    fn from(e: std::io::Error) -> Self {
+        ManifestError::Io(e)
+    }
+}
+
+impl From<JsonParseError> for ManifestError {
+    fn from(e: JsonParseError) -> Self {
+        ManifestError::Parse(e)
+    }
+}
+
+/// The merged output of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct RunManifest {
+    /// Manifest layout version (see [`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Machine that produced the numbers.
+    pub host: HostInfo,
+    /// Git SHA of the tree under test (`-dirty` suffix when applicable).
+    pub git_sha: String,
+    /// Run-level configuration knobs (`scale`, harness list, …).
+    pub config: Vec<(String, String)>,
+    /// Wall-clock duration of the whole run, in seconds.
+    pub wall_time_s: f64,
+    /// CPU time (user+system) of the whole run in seconds, when measurable.
+    pub cpu_time_s: Option<f64>,
+    /// `harness name → section object` (each with `config`/`metrics`/`rows`),
+    /// in insertion order.
+    pub sections: Vec<(String, JsonValue)>,
+    /// Telemetry-registry snapshot from the instrumented smoke workload.
+    pub telemetry: JsonValue,
+}
+
+impl RunManifest {
+    /// Start an empty manifest for the current build.
+    pub fn new(host: HostInfo, git_sha: String) -> Self {
+        RunManifest {
+            schema_version: SCHEMA_VERSION,
+            host,
+            git_sha,
+            config: Vec::new(),
+            wall_time_s: 0.0,
+            cpu_time_s: None,
+            sections: Vec::new(),
+            telemetry: JsonValue::Array(Vec::new()),
+        }
+    }
+
+    /// Record a run-level configuration knob.
+    pub fn set_config(&mut self, key: &str, value: impl ToString) {
+        self.config.push((key.to_string(), value.to_string()));
+    }
+
+    /// Merge one harness's section, replacing any previous section with the
+    /// same harness name.
+    pub fn add_section(&mut self, section: &dyn ManifestSection) {
+        self.add_section_json(section.harness(), section.to_section());
+    }
+
+    /// Merge an already-rendered section object under `harness`.
+    pub fn add_section_json(&mut self, harness: &str, section: JsonValue) {
+        self.sections.retain(|(name, _)| name != harness);
+        self.sections.push((harness.to_string(), section));
+    }
+
+    /// All gating metrics, flattened to `"<harness>.<path>" → value` in
+    /// name order.
+    pub fn metrics(&self) -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        for (harness, section) in &self.sections {
+            let Some(JsonValue::Object(fields)) = section.get("metrics") else { continue };
+            for (path, value) in fields {
+                if let Some(v) = value.as_f64() {
+                    out.insert(format!("{harness}.{path}"), v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Render the manifest as its canonical JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("schema_version".to_string(), JsonValue::U64(self.schema_version)),
+            ("host".to_string(), self.host.to_json()),
+            ("git_sha".to_string(), JsonValue::Str(self.git_sha.clone())),
+            (
+                "config".to_string(),
+                JsonValue::Object(
+                    self.config
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            ("wall_time_s".to_string(), JsonValue::F64(self.wall_time_s)),
+            (
+                "cpu_time_s".to_string(),
+                match self.cpu_time_s {
+                    Some(v) => JsonValue::F64(v),
+                    None => JsonValue::Null,
+                },
+            ),
+            (
+                "sections".to_string(),
+                JsonValue::Object(
+                    self.sections.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+                ),
+            ),
+            ("telemetry".to_string(), self.telemetry.clone()),
+        ])
+    }
+
+    /// Rebuild a manifest from its JSON object, rejecting schema-version
+    /// mismatches and structurally broken documents.
+    pub fn from_json(value: &JsonValue) -> Result<Self, ManifestError> {
+        let found = value
+            .get("schema_version")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| ManifestError::Malformed("missing schema_version".into()))?;
+        if found != SCHEMA_VERSION {
+            return Err(ManifestError::SchemaVersionMismatch { found, expected: SCHEMA_VERSION });
+        }
+        let sections = match value.get("sections") {
+            Some(JsonValue::Object(fields)) => fields.clone(),
+            _ => return Err(ManifestError::Malformed("missing sections object".into())),
+        };
+        let config = match value.get("config") {
+            Some(JsonValue::Object(fields)) => fields
+                .iter()
+                .map(|(k, v)| (k.clone(), v.as_str().unwrap_or_default().to_string()))
+                .collect(),
+            _ => Vec::new(),
+        };
+        Ok(RunManifest {
+            schema_version: found,
+            host: HostInfo::from_json(value.get("host").unwrap_or(&JsonValue::Null)),
+            git_sha: value
+                .get("git_sha")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            config,
+            wall_time_s: value.get("wall_time_s").and_then(JsonValue::as_f64).unwrap_or(0.0),
+            cpu_time_s: value.get("cpu_time_s").and_then(JsonValue::as_f64),
+            sections,
+            telemetry: value.get("telemetry").cloned().unwrap_or(JsonValue::Array(Vec::new())),
+        })
+    }
+
+    /// Parse a manifest from JSON text.
+    pub fn parse(text: &str) -> Result<Self, ManifestError> {
+        Self::from_json(&JsonValue::parse(text)?)
+    }
+
+    /// Load a manifest from a file.
+    pub fn load(path: &std::path::Path) -> Result<Self, ManifestError> {
+        Self::parse(&std::fs::read_to_string(path)?)
+    }
+
+    /// Write the manifest to a file (rendered JSON plus a trailing newline).
+    pub fn save(&self, path: &std::path::Path) -> Result<(), ManifestError> {
+        let mut text = self.to_json().render();
+        text.push('\n');
+        std::fs::write(path, text)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alaska_telemetry::json::object;
+
+    fn sample_manifest() -> RunManifest {
+        let mut m = RunManifest::new(HostInfo::detect(), "abc123".to_string());
+        m.set_config("scale", "1");
+        m.wall_time_s = 12.5;
+        m.cpu_time_s = Some(11.0);
+        m.add_section_json(
+            "fig7",
+            object([
+                ("config", object([("scale", JsonValue::F64(1.0))])),
+                (
+                    "metrics",
+                    object([
+                        ("overhead_pct.mcf", JsonValue::F64(12.0)),
+                        ("geomean_overhead_pct", JsonValue::F64(10.1)),
+                    ]),
+                ),
+                ("rows", JsonValue::Array(vec![])),
+            ]),
+        );
+        m
+    }
+
+    #[test]
+    fn manifest_round_trips_through_text() {
+        let m = sample_manifest();
+        let back = RunManifest::parse(&m.to_json().render()).unwrap();
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
+        assert_eq!(back.git_sha, "abc123");
+        assert_eq!(back.host, m.host);
+        assert_eq!(back.wall_time_s, 12.5);
+        assert_eq!(back.cpu_time_s, Some(11.0));
+        assert_eq!(back.metrics(), m.metrics());
+        assert_eq!(back.to_json().render(), m.to_json().render());
+    }
+
+    #[test]
+    fn adding_a_section_twice_replaces_it() {
+        let mut m = sample_manifest();
+        m.add_section_json("fig7", object([("metrics", object([]))]));
+        assert_eq!(m.sections.len(), 1);
+        assert!(m.metrics().is_empty());
+    }
+
+    #[test]
+    fn schema_version_mismatch_is_rejected() {
+        let mut m = sample_manifest();
+        m.schema_version = SCHEMA_VERSION + 1;
+        match RunManifest::parse(&m.to_json().render()) {
+            Err(ManifestError::SchemaVersionMismatch { found, expected }) => {
+                assert_eq!(found, SCHEMA_VERSION + 1);
+                assert_eq!(expected, SCHEMA_VERSION);
+            }
+            other => panic!("expected schema mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn structurally_broken_documents_are_rejected() {
+        assert!(matches!(RunManifest::parse("{}"), Err(ManifestError::Malformed(_))));
+        assert!(matches!(
+            RunManifest::parse("{\"schema_version\":1}"),
+            Err(ManifestError::Malformed(_))
+        ));
+        assert!(matches!(RunManifest::parse("not json"), Err(ManifestError::Parse(_))));
+    }
+
+    #[test]
+    fn metrics_flatten_with_harness_prefix() {
+        let metrics = sample_manifest().metrics();
+        assert_eq!(metrics.get("fig7.overhead_pct.mcf"), Some(&12.0));
+        assert_eq!(metrics.get("fig7.geomean_overhead_pct"), Some(&10.1));
+        assert_eq!(metrics.len(), 2);
+    }
+}

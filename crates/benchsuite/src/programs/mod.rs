@@ -1,6 +1,7 @@
 //! IR program builders, grouped by the dominant memory-access structure.
 //!
-//! Each public `build_*` function returns a self-contained [`Module`] whose
+//! Each public `build_*` function returns a self-contained
+//! [`Module`](alaska_ir::module::Module) whose
 //! `main` function takes no arguments and returns a checksum-like value, so the
 //! harness can confirm the baseline and the Alaska-transformed program compute
 //! the same result.

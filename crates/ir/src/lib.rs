@@ -9,7 +9,7 @@
 //! dependency:
 //!
 //! * [`module`] — modules, functions, basic blocks, instructions and a builder,
-//! * [`cfg`] / [`dom`] / [`loops`] / [`liveness`] — the analyses Algorithm 1
+//! * [`mod@cfg`] / [`dom`] / [`loops`] / [`liveness`] — the analyses Algorithm 1
 //!   consumes,
 //! * [`verify`] — an SSA verifier run after every transformation in tests,
 //! * [`interp`] — an interpreter that executes baseline or transformed

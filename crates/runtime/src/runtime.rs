@@ -26,7 +26,7 @@
 //!   [`HandleTable`](crate::handle_table) — no mutex anywhere on the path;
 //! * `halloc`/`hfree` draw handle IDs from a **per-thread magazine**
 //!   ([`ThreadState::magazine`]) that refills/flushes through one table shard
-//!   in batches of [`MAGAZINE_REFILL`];
+//!   in batches of `MAGAZINE_REFILL`;
 //! * event counters accumulate in per-thread [`ThreadHotStats`] and are only
 //!   folded together when [`Runtime::stats`] is called;
 //! * the current thread's registration is cached in a thread-local slot, so
@@ -416,7 +416,7 @@ impl Runtime {
     /// Claiming the entry is a CAS into the poisoned quarantine state, so of
     /// two racing frees exactly one succeeds and the other gets a typed
     /// verdict.  The freed ID parks in this thread's magazine for reuse;
-    /// surplus beyond [`MAGAZINE_CAP`] is flushed back to the owning shard in
+    /// surplus beyond `MAGAZINE_CAP` is flushed back to the owning shard in
     /// a batch.
     ///
     /// # Errors
@@ -869,6 +869,13 @@ impl Runtime {
     /// Density of live entries in the handle table (§4.2.1).
     pub fn handle_table_density(&self) -> f64 {
         self.table.density()
+    }
+
+    /// Number of ID-range shards in the handle table.  Full-capacity tables
+    /// size this from `available_parallelism`, so harnesses report it to
+    /// label results from machines with different effective shard counts.
+    pub fn handle_table_shards(&self) -> usize {
+        self.table.shard_count()
     }
 
     /// Handle-table metadata overhead in bytes.

@@ -1,6 +1,6 @@
 //! Runtime-side telemetry wiring.
 //!
-//! [`RuntimeTelemetry`] is created once, when a hub is installed via
+//! `RuntimeTelemetry` is created once, when a hub is installed via
 //! `Runtime::install_telemetry`, and caches `Arc` handles to every metric the
 //! runtime records.  Instrumentation sites therefore cost one `OnceLock` load
 //! and an untaken branch when no hub is installed, and never perform a

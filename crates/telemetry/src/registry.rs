@@ -167,29 +167,44 @@ impl RegistrySnapshot {
             .map(|i| &self.metrics[i].1)
     }
 
+    /// Render one metric as the JSON object used by both [`Self::to_jsonl`]
+    /// and [`Self::to_json`].
+    fn metric_json(name: &str, value: &MetricValue) -> JsonValue {
+        let mut obj = vec![
+            ("name".to_string(), JsonValue::Str(name.to_string())),
+            ("type".to_string(), JsonValue::Str(kind_of(value).to_string())),
+        ];
+        match value {
+            MetricValue::Counter(v) => obj.push(("value".to_string(), JsonValue::U64(*v))),
+            MetricValue::Gauge(v) => obj.push(("value".to_string(), JsonValue::F64(*v))),
+            MetricValue::Histogram(h) => {
+                obj.push(("count".to_string(), JsonValue::U64(h.count)));
+                obj.push(("sum".to_string(), JsonValue::U64(h.sum)));
+                obj.push(("min".to_string(), JsonValue::U64(h.min)));
+                obj.push(("max".to_string(), JsonValue::U64(h.max)));
+                obj.push(("mean".to_string(), JsonValue::F64(h.mean)));
+                obj.push(("p50".to_string(), JsonValue::U64(h.p50)));
+                obj.push(("p90".to_string(), JsonValue::U64(h.p90)));
+                obj.push(("p99".to_string(), JsonValue::U64(h.p99)));
+            }
+        }
+        JsonValue::Object(obj)
+    }
+
+    /// Render the snapshot as a single JSON array, one object per metric in
+    /// ascending name order (the shape `alaska-benchctl` embeds in run
+    /// manifests).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Array(
+            self.metrics.iter().map(|(name, value)| Self::metric_json(name, value)).collect(),
+        )
+    }
+
     /// Render the snapshot as JSON Lines: one object per metric.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for (name, value) in &self.metrics {
-            let mut obj = vec![
-                ("name".to_string(), JsonValue::Str(name.clone())),
-                ("type".to_string(), JsonValue::Str(kind_of(value).to_string())),
-            ];
-            match value {
-                MetricValue::Counter(v) => obj.push(("value".to_string(), JsonValue::U64(*v))),
-                MetricValue::Gauge(v) => obj.push(("value".to_string(), JsonValue::F64(*v))),
-                MetricValue::Histogram(h) => {
-                    obj.push(("count".to_string(), JsonValue::U64(h.count)));
-                    obj.push(("sum".to_string(), JsonValue::U64(h.sum)));
-                    obj.push(("min".to_string(), JsonValue::U64(h.min)));
-                    obj.push(("max".to_string(), JsonValue::U64(h.max)));
-                    obj.push(("mean".to_string(), JsonValue::F64(h.mean)));
-                    obj.push(("p50".to_string(), JsonValue::U64(h.p50)));
-                    obj.push(("p90".to_string(), JsonValue::U64(h.p90)));
-                    obj.push(("p99".to_string(), JsonValue::U64(h.p99)));
-                }
-            }
-            out.push_str(&JsonValue::Object(obj).render());
+            out.push_str(&Self::metric_json(name, value).render());
             out.push('\n');
         }
         out
@@ -293,6 +308,26 @@ mod tests {
             "{\"name\":\"pause_ns\",\"type\":\"histogram\",\"count\":2,\"sum\":20,\
              \"min\":10,\"max\":10,\"mean\":10,\"p50\":10,\"p90\":10,\"p99\":10}\n"
         );
+    }
+
+    #[test]
+    fn json_export_parses_back_and_matches_jsonl() {
+        let r = Registry::new();
+        r.counter("alaska_barriers").add(2);
+        r.histogram("pause_ns").record(10);
+        let snap = r.snapshot();
+        let json = snap.to_json();
+        // Integral floats render without `.0` and parse back as integers, so
+        // compare the stable rendered form rather than the value trees.
+        let parsed = JsonValue::parse(&json.render()).unwrap();
+        assert_eq!(parsed.render(), json.render());
+        let jsonl = snap.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        let items = json.as_array().unwrap();
+        assert_eq!(items.len(), lines.len());
+        for (item, line) in items.iter().zip(lines) {
+            assert_eq!(item.render(), line);
+        }
     }
 
     #[test]
