@@ -14,14 +14,30 @@ fn main() {
     let threads_list = [1usize, 2, 4, 8, 16];
     let mixes = [SweepMix::TranslateHeavy, SweepMix::AllocFreeHeavy];
     eprintln!(
-        "# Thread sweep: {ops_per_thread} ops/thread, {} configs",
+        "# Thread sweep: {ops_per_thread} ops/thread, {} configs + 3 magazine sweeps",
         threads_list.len() * mixes.len()
     );
+    if let Ok(w) = std::env::var("ALASKA_DEFRAG_WORKERS") {
+        eprintln!("# defrag copy pool forced to {w} workers (ALASKA_DEFRAG_WORKERS)");
+    }
 
     println!(
-        "{:>8} {:>18} {:>12} {:>10} {:>12} {:>12} {:>10}",
-        "threads", "mix", "total_ops", "mops", "contention", "mag_refills", "mag_flush"
+        "{:>8} {:>18} {:>10} {:>12} {:>10} {:>12} {:>12} {:>10}",
+        "threads", "mix", "magazine", "total_ops", "mops", "contention", "mag_refills", "mag_flush"
     );
+    let print_row = |r: &ThreadSweepResult| {
+        println!(
+            "{:>8} {:>18} {:>10} {:>12} {:>10.2} {:>12} {:>12} {:>10}",
+            r.threads,
+            r.mix,
+            format!("{}/{}", r.magazine_cap, r.magazine_refill),
+            r.total_ops,
+            r.mops,
+            r.shard_lock_contention,
+            r.magazine_refills,
+            r.magazine_flushes
+        );
+    };
     let mut all: Vec<ThreadSweepResult> = Vec::new();
     for &mix in &mixes {
         for &threads in &threads_list {
@@ -31,20 +47,28 @@ fn main() {
                 ops_per_thread,
                 object_size: 64,
                 working_set: 1024,
+                magazine: None,
             };
             let r = run_thread_sweep(&cfg);
-            println!(
-                "{:>8} {:>18} {:>12} {:>10.2} {:>12} {:>12} {:>10}",
-                r.threads,
-                r.mix,
-                r.total_ops,
-                r.mops,
-                r.shard_lock_contention,
-                r.magazine_refills,
-                r.magazine_flushes
-            );
+            print_row(&r);
             all.push(r);
         }
+    }
+
+    // Magazine cap/refill sweep on the alloc-heavy mix: validates (or
+    // indicts) the default 64/32 sizing.
+    for magazine in [(8usize, 4usize), (64, 32), (256, 128)] {
+        let cfg = ThreadSweepConfig {
+            threads: 4,
+            mix: SweepMix::AllocFreeHeavy,
+            ops_per_thread,
+            object_size: 64,
+            working_set: 0,
+            magazine: Some(magazine),
+        };
+        let r = run_thread_sweep(&cfg);
+        print_row(&r);
+        all.push(r);
     }
 
     println!();

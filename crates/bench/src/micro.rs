@@ -8,7 +8,7 @@
 //! a run manifest.  Absolute wall-clock numbers are machine-dependent; the
 //! manifest's tolerance rules treat them accordingly.
 
-use alaska::AlaskaBuilder;
+use alaska::{AlaskaBuilder, AnchorageConfig};
 use alaska_telemetry::json::{object, JsonValue, ToJson};
 use std::time::Instant;
 
@@ -118,6 +118,114 @@ pub fn run_micro(cfg: &MicroConfig) -> Vec<MicroResult> {
     out
 }
 
+/// Parameters of one defragmentation phase-timing run.
+#[derive(Debug, Clone, Copy)]
+pub struct DefragPhasesConfig {
+    /// Objects populating the heap before each pass.
+    pub objects: usize,
+    /// Defragmentation passes to time (each over a freshly rebuilt heap).
+    pub rounds: u64,
+    /// Copy-phase worker-pool size to request (`None` = host default).  The
+    /// `ALASKA_DEFRAG_WORKERS` env var still takes precedence at pass time.
+    pub workers: Option<usize>,
+}
+
+impl Default for DefragPhasesConfig {
+    fn default() -> Self {
+        DefragPhasesConfig { objects: 10_000, rounds: 10, workers: None }
+    }
+}
+
+/// Per-phase timing breakdown of the plan → copy → commit defragmentation
+/// pipeline, averaged over the configured rounds.
+#[derive(Debug, Clone)]
+pub struct DefragPhasesResult {
+    /// Passes timed.
+    pub rounds: u64,
+    /// Mean nanoseconds spent planning (victim selection + destination
+    /// reservation + batch coalescing) per pass.
+    pub plan_ns_per_pass: f64,
+    /// Mean nanoseconds spent in the (possibly parallel) copy phase per pass.
+    pub copy_ns_per_pass: f64,
+    /// Mean nanoseconds spent committing bookkeeping per pass.
+    pub commit_ns_per_pass: f64,
+    /// Total coalesced copy batches executed across all passes.
+    pub copy_batches: u64,
+    /// Total objects moved across all passes.
+    pub objects_moved: u64,
+    /// Mean objects per coalesced copy batch (the coalescing win).
+    pub objects_per_batch: f64,
+    /// Largest copy-phase worker count observed across passes.
+    pub max_copy_workers: u64,
+    /// Copy batches degraded to the serial path by faults across all passes.
+    pub degraded_batches: u64,
+}
+
+impl ToJson for DefragPhasesResult {
+    fn to_json(&self) -> JsonValue {
+        object([
+            ("rounds", JsonValue::U64(self.rounds)),
+            ("plan_ns_per_pass", JsonValue::F64(self.plan_ns_per_pass)),
+            ("copy_ns_per_pass", JsonValue::F64(self.copy_ns_per_pass)),
+            ("commit_ns_per_pass", JsonValue::F64(self.commit_ns_per_pass)),
+            ("copy_batches", JsonValue::U64(self.copy_batches)),
+            ("objects_moved", JsonValue::U64(self.objects_moved)),
+            ("objects_per_batch", JsonValue::F64(self.objects_per_batch)),
+            ("max_copy_workers", JsonValue::U64(self.max_copy_workers)),
+            ("degraded_batches", JsonValue::U64(self.degraded_batches)),
+        ])
+    }
+}
+
+/// Time the three defragmentation phases over a fragmented Anchorage heap.
+///
+/// Every round rebuilds the heap from scratch — `objects` small allocations
+/// with every fourth freed, leaving survivor runs of three adjacent blocks so
+/// the planner has real coalescing opportunities — then runs one unbudgeted
+/// pass and accumulates the per-phase timings from its `DefragOutcome`
+/// (see `alaska_runtime::service`).
+pub fn run_defrag_phases(cfg: &DefragPhasesConfig) -> DefragPhasesResult {
+    let mut plan_ns = 0u64;
+    let mut copy_ns = 0u64;
+    let mut commit_ns = 0u64;
+    let mut copy_batches = 0u64;
+    let mut objects_moved = 0u64;
+    let mut max_copy_workers = 0u64;
+    let mut degraded_batches = 0u64;
+
+    for _ in 0..cfg.rounds {
+        let anchorage = AnchorageConfig { defrag_workers: cfg.workers, ..Default::default() };
+        let rt = AlaskaBuilder::new().with_anchorage_config(anchorage).build();
+        let handles: Vec<u64> = (0..cfg.objects).map(|_| rt.halloc(128).unwrap()).collect();
+        for (i, h) in handles.iter().enumerate() {
+            if i % 4 == 0 {
+                rt.hfree(*h).unwrap();
+            }
+        }
+        let outcome = rt.defragment(None);
+        plan_ns += outcome.plan_ns;
+        copy_ns += outcome.copy_ns;
+        commit_ns += outcome.commit_ns;
+        copy_batches += outcome.copy_batches;
+        objects_moved += outcome.objects_moved;
+        max_copy_workers = max_copy_workers.max(outcome.copy_workers);
+        degraded_batches += outcome.batches_degraded;
+    }
+
+    let rounds = cfg.rounds.max(1) as f64;
+    DefragPhasesResult {
+        rounds: cfg.rounds,
+        plan_ns_per_pass: plan_ns as f64 / rounds,
+        copy_ns_per_pass: copy_ns as f64 / rounds,
+        commit_ns_per_pass: commit_ns as f64 / rounds,
+        copy_batches,
+        objects_moved,
+        objects_per_batch: objects_moved as f64 / copy_batches.max(1) as f64,
+        max_copy_workers,
+        degraded_batches,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,5 +249,26 @@ mod tests {
         for r in &results {
             assert!(r.ns_per_op > 0.0, "{} must record time", r.name);
         }
+    }
+
+    #[test]
+    fn defrag_phases_report_timings_and_coalescing() {
+        let cfg = DefragPhasesConfig { objects: 1_200, rounds: 2, workers: Some(4) };
+        let r = run_defrag_phases(&cfg);
+        assert_eq!(r.rounds, 2);
+        assert!(r.objects_moved > 0, "fragmented heap must move objects");
+        assert!(r.copy_batches > 0);
+        assert!(
+            r.copy_batches < r.objects_moved,
+            "adjacent survivors must coalesce into shared batches"
+        );
+        assert!(r.objects_per_batch > 1.0);
+        assert!(r.plan_ns_per_pass > 0.0);
+        assert!(r.copy_ns_per_pass > 0.0);
+        assert!(r.commit_ns_per_pass > 0.0);
+        if std::env::var("ALASKA_DEFRAG_WORKERS").is_err() {
+            assert!(r.max_copy_workers >= 2, "requested 4 workers, saw {}", r.max_copy_workers);
+        }
+        assert_eq!(r.degraded_batches, 0, "no faults armed, nothing may degrade");
     }
 }

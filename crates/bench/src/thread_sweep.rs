@@ -52,6 +52,11 @@ pub struct ThreadSweepConfig {
     pub object_size: usize,
     /// Live handles per thread in the translate-heavy working set.
     pub working_set: usize,
+    /// Magazine `(cap, refill)` override applied via
+    /// `Runtime::set_magazine_sizing`, or `None` for the runtime default.
+    /// Sweeping this axis answers the ROADMAP question of whether the
+    /// default 64/32 sizing is actually right.
+    pub magazine: Option<(usize, usize)>,
 }
 
 impl Default for ThreadSweepConfig {
@@ -62,6 +67,7 @@ impl Default for ThreadSweepConfig {
             ops_per_thread: 200_000,
             object_size: 64,
             working_set: 1024,
+            magazine: None,
         }
     }
 }
@@ -94,6 +100,12 @@ pub struct ThreadSweepResult {
     /// Effective handle-table shard count of the runtime under test (sized
     /// from `available_parallelism` at construction).
     pub shards: usize,
+    /// Magazine flush threshold the run used.
+    pub magazine_cap: usize,
+    /// Magazine refill batch size the run used.
+    pub magazine_refill: usize,
+    /// Whether the sweep overrode the runtime's default magazine sizing.
+    pub magazine_override: bool,
 }
 
 impl ToJson for ThreadSweepResult {
@@ -110,6 +122,9 @@ impl ToJson for ThreadSweepResult {
             ("fast_path_translations", JsonValue::U64(self.fast_path_translations)),
             ("available_parallelism", JsonValue::U64(self.available_parallelism as u64)),
             ("shards", JsonValue::U64(self.shards as u64)),
+            ("magazine_cap", JsonValue::U64(self.magazine_cap as u64)),
+            ("magazine_refill", JsonValue::U64(self.magazine_refill as u64)),
+            ("magazine_override", JsonValue::Bool(self.magazine_override)),
         ])
     }
 }
@@ -117,6 +132,10 @@ impl ToJson for ThreadSweepResult {
 /// Run one sweep configuration and return its throughput and counters.
 pub fn run_thread_sweep(cfg: &ThreadSweepConfig) -> ThreadSweepResult {
     let rt = Arc::new(AlaskaBuilder::new().with_anchorage().build());
+    if let Some((cap, refill)) = cfg.magazine {
+        rt.set_magazine_sizing(cap, refill);
+    }
+    let (magazine_cap, magazine_refill) = rt.magazine_sizing();
     let start_line = Arc::new(Barrier::new(cfg.threads + 1));
 
     let mut workers = Vec::new();
@@ -145,10 +164,21 @@ pub fn run_thread_sweep(cfg: &ThreadSweepConfig) -> ThreadSweepResult {
                     }
                 }
                 SweepMix::AllocFreeHeavy => {
+                    // Bursts of 16 live allocations stress the magazine
+                    // transfer paths in both directions (drain on the alloc
+                    // run, fill on the free run); strict alloc/free
+                    // alternation would keep the magazine length flat and
+                    // hide the cap/refill axis entirely.
+                    let mut burst = Vec::with_capacity(16);
                     for i in 0..cfg.ops_per_thread {
                         let h = rt.halloc(cfg.object_size).unwrap();
                         rt.write_u64(h, 0, i);
-                        rt.hfree(h).unwrap();
+                        burst.push(h);
+                        if burst.len() == 16 || i + 1 == cfg.ops_per_thread {
+                            for h in burst.drain(..) {
+                                rt.hfree(h).unwrap();
+                            }
+                        }
                     }
                 }
             }
@@ -182,6 +212,9 @@ pub fn run_thread_sweep(cfg: &ThreadSweepConfig) -> ThreadSweepResult {
         fast_path_translations: snap.translations.saturating_sub(snap.handle_faults),
         available_parallelism: available_parallelism(),
         shards: rt.handle_table_shards(),
+        magazine_cap,
+        magazine_refill,
+        magazine_override: cfg.magazine.is_some(),
     }
 }
 
@@ -202,9 +235,12 @@ mod tests {
             ops_per_thread: 5_000,
             object_size: 64,
             working_set: 128,
+            magazine: None,
         };
         let r = run_thread_sweep(&cfg);
         assert_eq!(r.total_ops, 10_000);
+        assert!(!r.magazine_override);
+        assert!(r.magazine_cap >= r.magazine_refill);
         assert!(r.fast_path_translations >= r.total_ops, "every op is a translation");
         assert!(r.mops > 0.0);
         assert!(r.available_parallelism >= 1);
@@ -219,8 +255,32 @@ mod tests {
             ops_per_thread: 2_000,
             object_size: 64,
             working_set: 0,
+            magazine: None,
         };
         let r = run_thread_sweep(&cfg);
         assert!(r.magazine_refills > 0, "allocating threads must refill magazines");
+    }
+
+    #[test]
+    fn magazine_override_changes_refill_behaviour() {
+        let base = ThreadSweepConfig {
+            threads: 2,
+            mix: SweepMix::AllocFreeHeavy,
+            ops_per_thread: 2_000,
+            object_size: 64,
+            working_set: 0,
+            magazine: Some((4, 2)),
+        };
+        let small = run_thread_sweep(&base);
+        assert!(small.magazine_override);
+        assert_eq!((small.magazine_cap, small.magazine_refill), (4, 2));
+        let large = run_thread_sweep(&ThreadSweepConfig { magazine: Some((256, 128)), ..base });
+        assert_eq!((large.magazine_cap, large.magazine_refill), (256, 128));
+        assert!(
+            small.magazine_refills > large.magazine_refills,
+            "tiny magazines ({} refills) must refill more often than big ones ({} refills)",
+            small.magazine_refills,
+            large.magazine_refills
+        );
     }
 }

@@ -93,6 +93,12 @@ pub fn default_rules() -> Vec<Rule> {
         Rule::new("thread_sweep.*", LowerIsBetter, 0.50, 100.0),
         Rule::new("micro.ns_per_op.defrag_barrier*", LowerIsBetter, 1.0, 1000.0),
         Rule::new("micro.*", LowerIsBetter, 0.75, 5.0),
+        // Defrag phase timings are wall-clock and worker-count sensitive;
+        // batch shape (objects per batch) is deterministic given the heap
+        // layout, so it gates tighter and in the higher-is-better direction.
+        Rule::new("defrag_phases.*_ns_per_pass", LowerIsBetter, 1.0, 1000.0),
+        Rule::new("defrag_phases.objects_per_batch", HigherIsBetter, 0.5, 1.0),
+        Rule::new("defrag_phases.*", LowerIsBetter, 0.5, 1.0),
         // Anything new defaults to lower-is-better with moderate slack.
         Rule::new("*", LowerIsBetter, 0.25, 1.0),
     ]

@@ -1,4 +1,4 @@
-//! CI-sized drivers for the nine harnesses plus the telemetry smoke run.
+//! CI-sized drivers for the ten harnesses plus the telemetry smoke run.
 //!
 //! `benchctl run` executes the same experiment code the standalone
 //! `benches/` binaries use, but with manifest-friendly defaults: every
@@ -10,11 +10,11 @@
 
 use alaska::ControlParams;
 use alaska_bench::memcached::{run_pause_experiment, PauseExperimentConfig};
-use alaska_bench::micro::{run_micro, MicroConfig};
+use alaska_bench::micro::{run_defrag_phases, run_micro, DefragPhasesConfig, MicroConfig};
 use alaska_bench::redis::{run_redis_experiment, Backend, RedisExperimentConfig, ValueSizing};
 use alaska_bench::sections::{
-    AblationSection, CodesizeSection, ControlEnvelopeSection, MicroSection, OverheadSection,
-    PauseSection, RedisSection, ThreadSweepSection,
+    AblationSection, CodesizeSection, ControlEnvelopeSection, DefragPhasesSection, MicroSection,
+    OverheadSection, PauseSection, RedisSection, ThreadSweepSection,
 };
 use alaska_bench::thread_sweep::{run_thread_sweep, SweepMix, ThreadSweepConfig};
 use alaska_bench::ManifestSection;
@@ -24,7 +24,7 @@ use alaska_telemetry::json::JsonValue;
 use alaska_telemetry::Telemetry;
 use std::sync::Arc;
 
-/// The nine harnesses a manifest can cover.
+/// The ten harnesses a manifest can cover.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Harness {
     /// Figure 7: per-benchmark translation/tracking overhead.
@@ -45,11 +45,13 @@ pub enum Harness {
     ThreadSweep,
     /// Stopwatch microbenchmarks of the hot paths.
     Micro,
+    /// Plan/copy/commit phase timings of the parallel defragmenter.
+    DefragPhases,
 }
 
 impl Harness {
     /// Every harness, in manifest order.
-    pub const ALL: [Harness; 9] = [
+    pub const ALL: [Harness; 10] = [
         Harness::Fig7,
         Harness::Fig8,
         Harness::Fig9,
@@ -59,6 +61,7 @@ impl Harness {
         Harness::TableCodesize,
         Harness::ThreadSweep,
         Harness::Micro,
+        Harness::DefragPhases,
     ];
 
     /// Stable name, equal to the section key the harness writes.
@@ -73,6 +76,7 @@ impl Harness {
             Harness::TableCodesize => "table_codesize",
             Harness::ThreadSweep => "thread_sweep",
             Harness::Micro => "micro",
+            Harness::DefragPhases => "defrag_phases",
         }
     }
 
@@ -210,9 +214,24 @@ pub fn run_harness(harness: Harness, scale: f64) -> Box<dyn ManifestSection> {
                         ops_per_thread,
                         object_size: 64,
                         working_set: 1024,
+                        magazine: None,
                     };
                     results.push(run_thread_sweep(&cfg));
                 }
+            }
+            // Magazine cap/refill sweep at a fixed thread count: pits the
+            // default 64/32 sizing against smaller and larger magazines on
+            // the mix that actually stresses the ID-transfer paths.
+            for magazine in [(8usize, 4usize), (64, 32), (256, 128)] {
+                let cfg = ThreadSweepConfig {
+                    threads: 4,
+                    mix: SweepMix::AllocFreeHeavy,
+                    ops_per_thread,
+                    object_size: 64,
+                    working_set: 0,
+                    magazine: Some(magazine),
+                };
+                results.push(run_thread_sweep(&cfg));
             }
             Box::new(ThreadSweepSection { ops_per_thread, results })
         }
@@ -223,6 +242,17 @@ pub fn run_harness(harness: Harness, scale: f64) -> Box<dyn ManifestSection> {
                 defrag_rounds: 3,
             };
             Box::new(MicroSection { results: run_micro(&micro_config), micro_config })
+        }
+        Harness::DefragPhases => {
+            let phases_config = DefragPhasesConfig {
+                objects: (2_000.0 * scale) as usize,
+                rounds: 3,
+                workers: None,
+            };
+            Box::new(DefragPhasesSection {
+                result: run_defrag_phases(&phases_config),
+                phases_config,
+            })
         }
     }
 }
@@ -277,5 +307,8 @@ mod tests {
         assert!(section.metrics().iter().any(|(k, _)| k == "geomean_growth_x"));
         let section = run_harness(Harness::Micro, 0.02);
         assert!(section.metrics().iter().any(|(k, _)| k.starts_with("ns_per_op.")));
+        let section = run_harness(Harness::DefragPhases, 0.2);
+        assert_eq!(section.harness(), "defrag_phases");
+        assert!(section.metrics().iter().any(|(k, v)| k == "copy_ns_per_pass" && *v > 0.0));
     }
 }

@@ -95,6 +95,8 @@ pub struct AlaskaBuilder {
     service: ServiceChoice,
     handle_faults: bool,
     telemetry: Option<Arc<Telemetry>>,
+    defrag_workers: Option<usize>,
+    magazine_size: Option<(usize, usize)>,
 }
 
 impl Default for AlaskaBuilder {
@@ -111,6 +113,8 @@ impl AlaskaBuilder {
             service: ServiceChoice::Malloc,
             handle_faults: false,
             telemetry: None,
+            defrag_workers: None,
+            magazine_size: None,
         }
     }
 
@@ -151,18 +155,43 @@ impl AlaskaBuilder {
         self
     }
 
+    /// Size the worker pool for the parallel copy phase of Anchorage defrag
+    /// passes (clamped to 1..=64; 1 = serial).  Only the Anchorage service
+    /// runs parallel copies, so this is a no-op for other services.  The
+    /// `ALASKA_DEFRAG_WORKERS` env var overrides this at pass time.
+    pub fn defrag_workers(mut self, workers: usize) -> Self {
+        self.defrag_workers = Some(workers);
+        self
+    }
+
+    /// Size the per-thread free-ID magazines: `cap` is the flush threshold,
+    /// `refill` the batch reserved from a shard on an empty magazine (see
+    /// [`Runtime::set_magazine_sizing`] for clamping).  The
+    /// `ALASKA_MAGAZINE_CAP`/`ALASKA_MAGAZINE_REFILL` env vars set the
+    /// default when this is not called.
+    pub fn magazine_size(mut self, cap: usize, refill: usize) -> Self {
+        self.magazine_size = Some((cap, refill));
+        self
+    }
+
     /// Build the runtime.
     pub fn build(self) -> Runtime {
         let vm = self.vm.unwrap_or_default();
         let service: Box<dyn Service> = match self.service {
             ServiceChoice::Malloc => Box::new(MallocService::new(vm.clone())),
-            ServiceChoice::Anchorage(cfg) => {
+            ServiceChoice::Anchorage(mut cfg) => {
+                if self.defrag_workers.is_some() {
+                    cfg.defrag_workers = self.defrag_workers;
+                }
                 Box::new(AnchorageService::with_config(vm.clone(), cfg))
             }
             ServiceChoice::Custom(s) => s,
         };
         let rt = Runtime::with_vm(vm, service);
         rt.enable_handle_faults(self.handle_faults);
+        if let Some((cap, refill)) = self.magazine_size {
+            rt.set_magazine_sizing(cap, refill);
+        }
         if let Some(hub) = self.telemetry {
             rt.install_telemetry(hub);
         }
@@ -212,6 +241,24 @@ mod tests {
             Some(telemetry::MetricValue::Histogram(h)) => assert!(h.count >= 1),
             other => panic!("expected pause histogram after defragment, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn builder_configures_magazines_and_defrag_workers() {
+        let rt = AlaskaBuilder::new().with_anchorage().magazine_size(16, 8).build();
+        assert_eq!(rt.magazine_sizing(), (16, 8));
+        // Out-of-range requests are clamped, not rejected.
+        let rt = AlaskaBuilder::new().magazine_size(1, 9999).build();
+        let (cap, refill) = rt.magazine_sizing();
+        assert_eq!(cap, 2);
+        assert!(refill <= cap);
+        // defrag_workers flows into the Anchorage config; the runtime still
+        // builds and defragments when the pool is configured.
+        let rt = AlaskaBuilder::new().with_anchorage().defrag_workers(2).build();
+        let h = rt.halloc(64).unwrap();
+        rt.write_u64(h, 0, 9);
+        rt.defragment(None);
+        assert_eq!(rt.read_u64(h, 0), 9);
     }
 
     #[test]

@@ -68,7 +68,9 @@ pub mod thread;
 pub use error::{AlaskaError, Result};
 pub use handle::{Handle, HandleId};
 pub use runtime::Runtime;
-pub use service::{Service, ServiceContext, StoppedWorld};
+pub use service::{
+    batch_is_contiguous, BatchApply, PlannedMove, Service, ServiceContext, StoppedWorld,
+};
 pub use telemetry::names as telemetry_names;
 
 /// Maximum number of simultaneously live handles supported by the 31-bit

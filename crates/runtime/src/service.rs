@@ -47,6 +47,21 @@ pub struct DefragOutcome {
     pub bytes_released: u64,
     /// Objects that could not be moved because they were pinned.
     pub objects_skipped_pinned: u64,
+    /// Nanoseconds spent building the evacuation plan (victim selection and
+    /// destination reservation) under the pause.
+    pub plan_ns: u64,
+    /// Nanoseconds spent copying object bytes and repointing entries.
+    pub copy_ns: u64,
+    /// Nanoseconds spent folding bookkeeping back in and trimming sub-heaps.
+    pub commit_ns: u64,
+    /// Coalesced copy batches executed (0 for services that move one object
+    /// at a time).
+    pub copy_batches: u64,
+    /// Workers that executed copy batches (1 = serial path).
+    pub copy_workers: u64,
+    /// Copy batches that degraded to the initiating thread after a worker
+    /// fault.
+    pub batches_degraded: u64,
 }
 
 /// A backing-memory service plugged into the Alaska runtime.
@@ -127,6 +142,47 @@ pub trait Service: Send {
 
     /// Service name used in benchmark output.
     fn name(&self) -> &'static str;
+}
+
+/// One relocation inside an evacuation plan: move the `len`-byte block of
+/// handle `id` from `src` to `dst`.
+///
+/// `len` is the service's *rounded* block length (it covers the requested
+/// size), so adjacent plan entries can be recognised as one contiguous copy
+/// range by [`batch_is_contiguous`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedMove {
+    /// Handle whose entry is repointed once the bytes land.
+    pub id: HandleId,
+    /// Current backing address of the block.
+    pub src: VirtAddr,
+    /// Reserved destination address, owned by the planning service.
+    pub dst: VirtAddr,
+    /// Block length to copy, in bytes.
+    pub len: u64,
+}
+
+/// Whether `moves` form one contiguous source range mapping onto one
+/// contiguous destination range, i.e. each entry starts exactly where the
+/// previous one ended on both sides.  Such a batch can be applied with a
+/// single bulk copy instead of one copy per object.
+pub fn batch_is_contiguous(moves: &[PlannedMove]) -> bool {
+    moves
+        .windows(2)
+        .all(|w| w[0].src.add(w[0].len) == w[1].src && w[0].dst.add(w[0].len) == w[1].dst)
+}
+
+/// What applying one copy batch did — see [`StoppedWorld::move_batch`].
+#[derive(Debug, Clone, Default)]
+pub struct BatchApply {
+    /// Entries successfully copied and repointed.
+    pub objects_moved: u64,
+    /// Bytes copied for those entries (rounded block lengths).
+    pub bytes_moved: u64,
+    /// Handles whose move was refused (pinned, dead, or no longer backed at
+    /// the planned source address).  The planner keeps their old records and
+    /// must return the reserved destinations to its free lists.
+    pub failed: Vec<HandleId>,
 }
 
 /// A view of the stopped world handed to [`Service::defragment`].
@@ -218,6 +274,56 @@ impl<'a> StoppedWorld<'a> {
         true
     }
 
+    /// Apply one disjoint copy batch: copy every entry's bytes and repoint
+    /// its handle-table entry.  Entries that are pinned, dead, or no longer
+    /// backed at their planned `src` are skipped and reported in
+    /// [`BatchApply::failed`]; the rest are moved.
+    ///
+    /// Takes `&self` so a worker pool can apply disjoint batches
+    /// concurrently (`std::thread::scope` over `&StoppedWorld`): entry words
+    /// are atomic, [`VirtualMemory`] serialises its own copies, and the
+    /// stats cells are atomic counters.  Callers must guarantee batches are
+    /// pairwise disjoint — no two batches may share a handle, and no batch's
+    /// destination range may overlap another batch's source or destination.
+    /// When every entry is movable and [`batch_is_contiguous`] holds, the
+    /// whole batch is copied with one bulk `vm.copy`.
+    pub fn move_batch(&self, moves: &[PlannedMove]) -> BatchApply {
+        let mut out = BatchApply::default();
+        if moves.is_empty() {
+            return out;
+        }
+        // Validate before any bytes move, so a fully-clean batch can take the
+        // single bulk copy below.
+        let mut apply: Vec<&PlannedMove> = Vec::with_capacity(moves.len());
+        for mv in moves {
+            if mv.src == mv.dst {
+                continue; // trivially done; parity with move_object
+            }
+            let live_at_src = self.table.get(mv.id).map(|e| e.backing == mv.src).unwrap_or(false);
+            if self.is_pinned(mv.id) || !live_at_src {
+                out.failed.push(mv.id);
+                continue;
+            }
+            apply.push(mv);
+        }
+        if apply.len() == moves.len() && batch_is_contiguous(moves) {
+            let total: u64 = moves.iter().map(|m| m.len).sum();
+            self.vm.copy(moves[0].src, moves[0].dst, total as usize);
+        } else {
+            for mv in &apply {
+                self.vm.copy(mv.src, mv.dst, mv.len as usize);
+            }
+        }
+        for mv in &apply {
+            self.table.set_backing(mv.id, mv.dst);
+            out.objects_moved += 1;
+            out.bytes_moved += mv.len;
+        }
+        RuntimeStats::add(&self.stats.objects_moved, out.objects_moved);
+        RuntimeStats::add(&self.stats.bytes_moved, out.bytes_moved);
+        out
+    }
+
     /// Mark a live object invalid (handle-fault path, §7) — used by services
     /// that speculatively move or swap objects outside barriers.
     pub fn set_invalid(&mut self, id: HandleId, invalid: bool) {
@@ -299,6 +405,93 @@ mod tests {
             world.set_invalid(id, true);
         }
         assert_eq!(table.get(id).unwrap().state, HteState::Invalid);
+    }
+
+    #[test]
+    fn move_batch_bulk_copies_contiguous_runs() {
+        let (table, pinned, vm, stats) = world_parts();
+        let region = vm.map(16384);
+        let mut moves = Vec::new();
+        for i in 0..4u64 {
+            let src = region.add(512 + i * 64);
+            let dst = region.add(8192 + i * 64);
+            vm.write_bytes(src, &i.to_le_bytes());
+            let id = table.allocate(src, 64).unwrap();
+            moves.push(PlannedMove { id, src, dst, len: 64 });
+        }
+        assert!(batch_is_contiguous(&moves));
+        let world = StoppedWorld::new(&table, &pinned, &vm, &stats);
+        let applied = world.move_batch(&moves);
+        assert_eq!(applied.objects_moved, 4);
+        assert_eq!(applied.bytes_moved, 256);
+        assert!(applied.failed.is_empty());
+        for (i, mv) in moves.iter().enumerate() {
+            assert_eq!(table.backing(mv.id), Some(mv.dst));
+            assert_eq!(vm.read_vec(mv.dst, 8), (i as u64).to_le_bytes());
+        }
+        assert_eq!(stats.snapshot().objects_moved, 4);
+        assert_eq!(stats.snapshot().bytes_moved, 256);
+    }
+
+    #[test]
+    fn move_batch_skips_pinned_and_dead_entries() {
+        let (table, mut pinned, vm, stats) = world_parts();
+        let region = vm.map(16384);
+        let mk = |i: u64| {
+            let src = region.add(i * 64);
+            (table.allocate(src, 64).unwrap(), src)
+        };
+        let (alive, alive_src) = mk(0);
+        let (pinned_id, pinned_src) = mk(1);
+        let (dead, dead_src) = mk(2);
+        pinned.insert(pinned_id);
+        table.release(dead);
+        vm.write_bytes(alive_src, b"still ok");
+        let moves = [
+            PlannedMove { id: alive, src: alive_src, dst: region.add(8192), len: 64 },
+            PlannedMove { id: pinned_id, src: pinned_src, dst: region.add(8256), len: 64 },
+            PlannedMove { id: dead, src: dead_src, dst: region.add(8320), len: 64 },
+        ];
+        let world = StoppedWorld::new(&table, &pinned, &vm, &stats);
+        let applied = world.move_batch(&moves);
+        assert_eq!(applied.objects_moved, 1);
+        assert_eq!(applied.failed, vec![pinned_id, dead]);
+        assert_eq!(table.backing(alive), Some(region.add(8192)));
+        assert_eq!(&vm.read_vec(region.add(8192), 8), b"still ok");
+        assert_eq!(table.backing(pinned_id), Some(pinned_src));
+    }
+
+    #[test]
+    fn disjoint_batches_apply_concurrently_from_scoped_workers() {
+        let (table, pinned, vm, stats) = world_parts();
+        let region = vm.map(1 << 20);
+        let mut batches: Vec<Vec<PlannedMove>> = Vec::new();
+        for b in 0..4u64 {
+            let mut batch = Vec::new();
+            for i in 0..32u64 {
+                let src = region.add((b * 32 + i) * 128);
+                let dst = region.add((1 << 19) + (b * 32 + i) * 128);
+                vm.write_bytes(src, &(b * 32 + i).to_le_bytes());
+                let id = table.allocate(src, 128).unwrap();
+                batch.push(PlannedMove { id, src, dst, len: 128 });
+            }
+            batches.push(batch);
+        }
+        let world = StoppedWorld::new(&table, &pinned, &vm, &stats);
+        let world_ref = &world;
+        std::thread::scope(|scope| {
+            for batch in &batches {
+                scope.spawn(move || {
+                    let applied = world_ref.move_batch(batch);
+                    assert_eq!(applied.objects_moved, 32);
+                });
+            }
+        });
+        for (n, mv) in batches.iter().flatten().enumerate() {
+            assert_eq!(table.backing(mv.id), Some(mv.dst));
+            assert_eq!(vm.read_vec(mv.dst, 8), (n as u64).to_le_bytes());
+        }
+        assert_eq!(stats.snapshot().objects_moved, 128);
     }
 
     #[test]

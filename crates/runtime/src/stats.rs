@@ -131,6 +131,16 @@ define_stats! {
     alloc_pressure_events,
     /// Pressure recoveries that ended with the allocation succeeding.
     alloc_pressure_recoveries,
+    /// Nanoseconds spent in the defrag plan phase across all passes.
+    defrag_plan_ns,
+    /// Nanoseconds spent in the defrag copy phase across all passes.
+    defrag_copy_ns,
+    /// Nanoseconds spent in the defrag commit phase across all passes.
+    defrag_commit_ns,
+    /// Coalesced copy batches executed across all defrag passes.
+    defrag_copy_batches,
+    /// Copy batches degraded to the serial path after a worker fault.
+    defrag_batches_degraded,
 }
 
 impl RuntimeStats {

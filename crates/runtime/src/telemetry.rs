@@ -45,6 +45,14 @@ pub mod names {
     /// Counter of translations served on the lock-free fast path (total
     /// translations minus handle faults).
     pub const FAST_PATH_TRANSLATIONS: &str = "alaska_fast_path_translations";
+    /// Histogram of nanoseconds spent planning the evacuation per defrag pass.
+    pub const DEFRAG_PLAN_NS: &str = "alaska_defrag_phase_plan_ns";
+    /// Histogram of nanoseconds spent copying batches per defrag pass.
+    pub const DEFRAG_COPY_NS: &str = "alaska_defrag_phase_copy_ns";
+    /// Histogram of nanoseconds spent committing bookkeeping per defrag pass.
+    pub const DEFRAG_COMMIT_NS: &str = "alaska_defrag_phase_commit_ns";
+    /// Gauge of workers that executed copy batches in the latest defrag pass.
+    pub const DEFRAG_COPY_WORKERS: &str = "alaska_defrag_copy_workers";
 }
 
 /// Resolved metric handles for the runtime's instrumentation sites.
@@ -55,6 +63,10 @@ pub(crate) struct RuntimeTelemetry {
     stop_wait_ns: Arc<Histogram>,
     defrag_bytes_moved: Arc<Histogram>,
     defrag_bytes_released: Arc<Histogram>,
+    defrag_plan_ns: Arc<Histogram>,
+    defrag_copy_ns: Arc<Histogram>,
+    defrag_commit_ns: Arc<Histogram>,
+    defrag_copy_workers: Arc<Gauge>,
     rss_bytes: Arc<Gauge>,
     fragmentation: Arc<Gauge>,
     /// Safepoint-poll total as of the previous barrier, for batched
@@ -71,6 +83,10 @@ impl RuntimeTelemetry {
             stop_wait_ns: registry.histogram(names::BARRIER_STOP_WAIT_NS),
             defrag_bytes_moved: registry.histogram(names::DEFRAG_BYTES_MOVED),
             defrag_bytes_released: registry.histogram(names::DEFRAG_BYTES_RELEASED),
+            defrag_plan_ns: registry.histogram(names::DEFRAG_PLAN_NS),
+            defrag_copy_ns: registry.histogram(names::DEFRAG_COPY_NS),
+            defrag_commit_ns: registry.histogram(names::DEFRAG_COMMIT_NS),
+            defrag_copy_workers: registry.gauge(names::DEFRAG_COPY_WORKERS),
             rss_bytes: registry.gauge(names::RSS_BYTES),
             fragmentation: registry.gauge(names::FRAGMENTATION_RATIO),
             last_safepoint_polls: AtomicU64::new(0),
@@ -102,6 +118,10 @@ impl RuntimeTelemetry {
     ) {
         self.defrag_bytes_moved.record(outcome.bytes_moved);
         self.defrag_bytes_released.record(outcome.bytes_released);
+        self.defrag_plan_ns.record(outcome.plan_ns);
+        self.defrag_copy_ns.record(outcome.copy_ns);
+        self.defrag_commit_ns.record(outcome.commit_ns);
+        self.defrag_copy_workers.set_u64(outcome.copy_workers);
         self.rss_bytes.set_u64(rss_bytes);
         self.fragmentation.set(fragmentation);
         self.hub.emit(Event::DefragPass {

@@ -29,7 +29,9 @@ const SITES: &[&str] = &[
     "magazine.refill",
     "hrealloc.repoint",
     "barrier.entry",
+    "defrag.plan",
     "defrag.move",
+    "defrag.copy",
     "defrag.commit",
     "subheap.rotate",
 ];
@@ -148,9 +150,11 @@ fn every_armed_site_yields_a_typed_error_or_clean_retry() {
         rt.verify_table_invariants().unwrap();
     }
 
-    // defrag.move / defrag.commit / subheap.rotate: Anchorage sheds the
-    // faulted portion of the pass and completes without error.
-    for site in ["defrag.move", "defrag.commit", "subheap.rotate"] {
+    // defrag.plan / defrag.move / defrag.copy / defrag.commit /
+    // subheap.rotate: Anchorage sheds the faulted portion of the pass —
+    // an abandoned plan, a truncated victim list, a degraded copy batch,
+    // a skipped trim — and completes without error.
+    for site in ["defrag.plan", "defrag.move", "defrag.copy", "defrag.commit", "subheap.rotate"] {
         let (rt, live) = fragmented_runtime();
         let _arm = faultline::arm_scoped(site, FaultAction::Error, Some(1));
         let _ = rt.defragment(None);
@@ -159,6 +163,45 @@ fn every_armed_site_yields_a_typed_error_or_clean_retry() {
         }
         rt.verify_table_invariants().unwrap_or_else(|e| panic!("after {site}: {e}"));
     }
+}
+
+#[test]
+fn copy_worker_faults_degrade_batches_without_aborting_the_pass() {
+    let _serial = chaos_lock();
+    let cfg = AnchorageConfig { defrag_workers: Some(4), ..Default::default() };
+    let rt = AlaskaBuilder::new().with_anchorage_config(cfg).build();
+    let mut handles = Vec::new();
+    for i in 0..800u64 {
+        let h = rt.halloc(256).unwrap();
+        rt.write_u64(h, 0, i);
+        handles.push(h);
+    }
+    let mut survivors = Vec::new();
+    for (i, h) in handles.into_iter().enumerate() {
+        if i % 4 == 0 {
+            survivors.push((h, i as u64));
+        } else {
+            rt.hfree(h).unwrap();
+        }
+    }
+
+    // Fault a handful of copy batches: each faulted batch must fall back to
+    // the serial path on the initiating thread, not abort the pass.
+    let _arm = faultline::arm_scoped("defrag.copy", FaultAction::Error, Some(3));
+    let outcome = rt.defragment(None);
+    assert!(outcome.objects_moved > 0, "the degraded pass still defragments");
+    assert!(
+        outcome.batches_degraded >= 1,
+        "armed copy faults must degrade batches, outcome: {outcome:?}"
+    );
+    assert!(
+        outcome.batches_degraded <= outcome.copy_batches,
+        "degraded batches are a subset of all batches"
+    );
+    for &(h, expect) in &survivors {
+        assert_eq!(rt.read_u64(h, 0), expect, "degraded copy corrupted an object");
+    }
+    rt.verify_table_invariants().unwrap();
 }
 
 #[test]

@@ -105,7 +105,15 @@ fn uninstrumented_runs_are_unchanged() {
     let without_hub = fragmented_runtime(None);
     let a = with_hub.defragment(None);
     let b = without_hub.defragment(None);
-    assert_eq!(a, b, "telemetry must not perturb defragmentation");
+    // Phase timings (`plan_ns`/`copy_ns`/`commit_ns`) are wall clock and
+    // never reproduce exactly; every deterministic field must.
+    assert_eq!(a.objects_moved, b.objects_moved, "telemetry must not perturb defragmentation");
+    assert_eq!(a.bytes_moved, b.bytes_moved);
+    assert_eq!(a.bytes_released, b.bytes_released);
+    assert_eq!(a.objects_skipped_pinned, b.objects_skipped_pinned);
+    assert_eq!(a.copy_batches, b.copy_batches, "batch coalescing must be deterministic");
+    assert_eq!(a.copy_workers, b.copy_workers);
+    assert_eq!(a.batches_degraded, b.batches_degraded);
     let sa = with_hub.stats();
     let sb = without_hub.stats();
     assert_eq!(sa.objects_moved, sb.objects_moved);
